@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md section 4 for the index) and prints the rows/series the
+paper reports.  Workloads are scaled down by default; set
+``REPRO_FULL_SCALE=1`` for paper-scale runs (slow).
+
+Shape assertions are deliberately loose: we check orderings and trends
+(who wins, what rises/falls), not absolute numbers — our substrate is a
+synthetic-trace simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.config import full_scale, trace_profile
+from repro.mobility.trace import Trace
+
+
+@pytest.fixture(scope="session")
+def dart_profile():
+    return trace_profile("DART")
+
+
+@pytest.fixture(scope="session")
+def dnet_profile():
+    return trace_profile("DNET")
+
+
+@pytest.fixture(scope="session")
+def dart_trace(dart_profile) -> Trace:
+    return dart_profile.build(1)
+
+
+@pytest.fixture(scope="session")
+def dnet_trace(dnet_profile) -> Trace:
+    return dnet_profile.build(1)
+
+
+@pytest.fixture(scope="session")
+def memory_grid():
+    """Fig. 11/12 x-axis; the full 10-point grid under REPRO_FULL_SCALE."""
+    if full_scale():
+        return [float(m) for m in range(1200, 3001, 200)]
+    return [1200.0, 1600.0, 2000.0, 2400.0, 3000.0]
+
+
+@pytest.fixture(scope="session")
+def rate_grid():
+    """Fig. 13/14 x-axis; the full 10-point grid under REPRO_FULL_SCALE."""
+    if full_scale():
+        return [float(r) for r in range(100, 1001, 100)]
+    return [100.0, 300.0, 500.0, 700.0, 1000.0]
+
+
+def emit(title: str, body: str) -> None:
+    """Print a banner + body so the regenerated table stands out in logs."""
+    bar = "=" * max(len(title), 30)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

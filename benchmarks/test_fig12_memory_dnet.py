@@ -1,0 +1,32 @@
+"""Fig. 12 — performance vs node memory on the DNET-like trace."""
+
+from repro.baselines import PAPER_PROTOCOLS
+from repro.eval.sweeps import memory_sweep
+
+from ._sweep_common import (
+    assert_delay_ordering,
+    assert_maintenance_lowest,
+    assert_memory_trend,
+    assert_success_ordering,
+    render_sweep,
+)
+from .conftest import emit
+
+
+def test_fig12_memory_sweep_dnet(benchmark, dnet_trace, dnet_profile, memory_grid):
+    def run():
+        return memory_sweep(
+            dnet_trace, dnet_profile,
+            memories_kb=memory_grid, rate=500.0,
+            protocols=PAPER_PROTOCOLS, seed=3,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Fig. 12: DNET performance vs memory size (kB, paper units)",
+        render_sweep(result, "rate = 500 pkts/landmark/day"),
+    )
+    assert_success_ordering(result)
+    assert_delay_ordering(result)
+    assert_maintenance_lowest(result)
+    assert_memory_trend(result)

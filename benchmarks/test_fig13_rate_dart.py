@@ -1,0 +1,32 @@
+"""Fig. 13 — performance vs packet generation rate on the DART-like trace."""
+
+from repro.baselines import PAPER_PROTOCOLS
+from repro.eval.sweeps import rate_sweep
+
+from ._sweep_common import (
+    assert_delay_ordering,
+    assert_maintenance_lowest,
+    assert_rate_trend,
+    assert_success_ordering,
+    render_sweep,
+)
+from .conftest import emit
+
+
+def test_fig13_rate_sweep_dart(benchmark, dart_trace, dart_profile, rate_grid):
+    def run():
+        return rate_sweep(
+            dart_trace, dart_profile,
+            rates=rate_grid, memory_kb=2000.0,
+            protocols=PAPER_PROTOCOLS, seed=3,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Fig. 13: DART performance vs packet rate (pkts/landmark/day)",
+        render_sweep(result, "memory = 2000 kB"),
+    )
+    assert_success_ordering(result)
+    assert_delay_ordering(result)
+    assert_maintenance_lowest(result)
+    assert_rate_trend(result)

@@ -1,0 +1,35 @@
+"""Fig. 14 — performance vs packet generation rate on the DNET-like trace."""
+
+from repro.baselines import PAPER_PROTOCOLS
+from repro.eval.sweeps import rate_sweep
+
+from ._sweep_common import (
+    assert_delay_ordering,
+    assert_maintenance_lowest,
+    assert_success_ordering,
+    render_sweep,
+)
+from .conftest import emit
+
+
+def test_fig14_rate_sweep_dnet(benchmark, dnet_trace, dnet_profile, rate_grid):
+    def run():
+        return rate_sweep(
+            dnet_trace, dnet_profile,
+            rates=rate_grid, memory_kb=2000.0,
+            protocols=PAPER_PROTOCOLS, seed=3,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Fig. 14: DNET performance vs packet rate (pkts/landmark/day)",
+        render_sweep(result, "memory = 2000 kB"),
+    )
+    assert_success_ordering(result)
+    assert_delay_ordering(result)
+    assert_maintenance_lowest(result)
+    # the paper notes DNET forwarding costs flatten once opportunities
+    # saturate (Fig. 14c); we only require they do not shrink
+    for name, series in result.series.items():
+        f = series["forwarding_cost"]
+        assert f[-1] >= f[0] * 0.8, name

@@ -1,0 +1,62 @@
+"""Fig. 16 and Table X — the campus deployment (Section V-C).
+
+Nine students, eight landmarks, every packet destined to the library.
+Reported: success rate + delay quantiles (Fig. 16a), the transit-link
+bandwidth map with links under 0.14 omitted (Fig. 16b), and the routing
+tables of selected landmarks (Table X).
+
+Paper numbers: >82 % success, average delay ~1000 min, >75 % of packets
+within 1400 min.  Shape criteria: success above ~0.6 at this tiny scale,
+delays within TTL, the library reachable from every landmark, and the
+dominant links connecting the main department buildings with the library.
+"""
+
+from repro.eval.deployment import LIBRARY, run_deployment
+from repro.utils.tables import format_table
+
+from .conftest import emit
+
+
+def test_fig16_table10_deployment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_deployment(trace_days=6, seed=7), rounds=1, iterations=1
+    )
+    m = result.metrics
+    s = result.delay_summary
+    emit(
+        "Fig. 16(a): deployment success rate and delay spread (minutes)",
+        format_table(
+            ["success rate", "min", "q1", "mean", "q3", "max"],
+            [[round(m.success_rate, 3)] + [round(x / 60.0, 0) for x in s.as_tuple()]],
+        ),
+    )
+    link_rows = [
+        [f"L{a}->L{b}", round(bw, 2)]
+        for (a, b), bw in sorted(result.link_bandwidths.items(), key=lambda kv: -kv[1])
+    ]
+    emit(
+        "Fig. 16(b): transit-link bandwidths (links under 0.14 omitted)",
+        format_table(["link", "bandwidth (/unit)"], link_rows),
+    )
+    table_rows = []
+    for lid in (1, 2, 5):
+        for e in result.routing_tables[lid]:
+            table_rows.append([f"L{lid}", e.dest, e.next_hop, round(e.delay / 3600.0, 1)])
+    emit(
+        "Table X: routing tables of L1, L2, L5 (delay in hours)",
+        format_table(["landmark", "dest", "next hop", "delay"], table_rows),
+    )
+
+    # Fig. 16(a) shape
+    assert m.success_rate > 0.6
+    assert s.maximum <= 3 * 86400.0  # within TTL
+    assert s.q1 <= s.mean <= s.q3 or s.minimum <= s.mean <= s.maximum
+    # Fig. 16(b) shape: the library is the traffic hub - the highest-
+    # bandwidth links touch it
+    top_links = sorted(result.link_bandwidths.items(), key=lambda kv: -kv[1])[:4]
+    assert any(LIBRARY in pair for pair, _ in top_links)
+    # Table X shape: every landmark can route to the library
+    for lid, entries in result.routing_tables.items():
+        if lid == LIBRARY:
+            continue
+        assert any(e.dest == LIBRARY for e in entries), f"L{lid} cannot reach the library"

@@ -1,0 +1,55 @@
+"""Fig. 3 — bandwidth distribution of transit links.
+
+Observations O2 and O3: a small portion of transit links carry high
+bandwidth, and matching (opposite-direction) links are symmetric.
+"""
+
+import numpy as np
+
+from repro.mobility import stats
+from repro.utils.tables import format_table
+
+from .conftest import emit
+
+
+def _links(trace, time_unit):
+    return stats.ordered_link_bandwidths(trace, time_unit)
+
+
+def _report(name, trace, profile):
+    links = _links(trace, profile.time_unit)
+    rows = [
+        [i + 1, f"{l.src}->{l.dst}", round(l.bandwidth, 2), round(l.matching_bandwidth, 2),
+         round(l.asymmetry, 2)]
+        for i, l in enumerate(links[:12])
+    ]
+    conc = stats.bandwidth_concentration(trace, profile.time_unit, top_fraction=0.2)
+    emit(
+        f"Fig. 3: {name} transit-link bandwidths (top 12 of {len(links)}; "
+        f"top-20% links carry {conc:.0%} of flow)",
+        format_table(["rank", "link", "bw", "matching bw", "asymmetry"], rows),
+    )
+    return links, conc
+
+
+def test_fig3_dart(benchmark, dart_trace, dart_profile):
+    links, conc = benchmark.pedantic(
+        lambda: _report("DART", dart_trace, dart_profile), rounds=1, iterations=1
+    )
+    # O2: concentration well above the uniform 20%
+    assert conc > 0.35
+    # O3: the high-bandwidth links are roughly symmetric
+    top_asym = np.mean([l.asymmetry for l in links[:10]])
+    assert top_asym < 0.45
+    # ordering is by decreasing bandwidth
+    bws = [l.bandwidth for l in links]
+    assert bws == sorted(bws, reverse=True)
+
+
+def test_fig3_dnet(benchmark, dnet_trace, dnet_profile):
+    links, conc = benchmark.pedantic(
+        lambda: _report("DNET", dnet_trace, dnet_profile), rounds=1, iterations=1
+    )
+    assert conc > 0.35
+    top_asym = np.mean([l.asymmetry for l in links[:10]])
+    assert top_asym < 0.45

@@ -1,0 +1,54 @@
+"""Fig. 8 — average routing-table coverage and stability over time.
+
+At ten evenly distributed observation points, coverage (fraction of
+destination landmarks a table can route to) approaches 1 after the first
+points, and the next-hop stability stays high — the property the paper uses
+to argue that routing-table update frequency can be reduced.
+"""
+
+import numpy as np
+
+from repro.eval.coverage import table_coverage_series
+from repro.utils.tables import format_table
+
+from .conftest import emit
+
+
+def _run(trace, profile):
+    return table_coverage_series(trace, profile, n_points=10, rate=300.0, seed=3)
+
+
+def _check(points, name):
+    coverage = [p.mean_coverage for p in points]
+    stability = [p.mean_stability for p in points]
+    # after the first few observation points the tables cover nearly all
+    # destinations ...
+    assert all(c > 0.9 for c in coverage[3:]), name
+    # ... and next hops are largely stable
+    assert np.mean(stability[3:]) > 0.7, name
+
+
+def test_fig8_dart(benchmark, dart_trace, dart_profile):
+    points = benchmark.pedantic(lambda: _run(dart_trace, dart_profile), rounds=1, iterations=1)
+    rows = [
+        [i + 1, round(p.time / 86400.0, 1), round(p.mean_coverage, 3), round(p.mean_stability, 3)]
+        for i, p in enumerate(points)
+    ]
+    emit(
+        "Fig. 8 (DART): routing-table coverage and stability",
+        format_table(["obs point", "day", "coverage", "stability"], rows),
+    )
+    _check(points, "DART")
+
+
+def test_fig8_dnet(benchmark, dnet_trace, dnet_profile):
+    points = benchmark.pedantic(lambda: _run(dnet_trace, dnet_profile), rounds=1, iterations=1)
+    rows = [
+        [i + 1, round(p.time / 86400.0, 1), round(p.mean_coverage, 3), round(p.mean_stability, 3)]
+        for i, p in enumerate(points)
+    ]
+    emit(
+        "Fig. 8 (DNET): routing-table coverage and stability",
+        format_table(["obs point", "day", "coverage", "stability"], rows),
+    )
+    _check(points, "DNET")

@@ -1,0 +1,40 @@
+"""Table VI — dead-end prevention (Section IV-E.1).
+
+A bus trace with frequent unscheduled garage excursions; packets on a
+garaged bus are stranded unless the detector hands them back to the garage
+landmark's station for re-routing.  Rows: ORG (no prevention) and gamma in
+{2, 3, 4, 5}.  Paper shape: every gamma beats ORG on success rate; gamma=2
+is the best setting.
+"""
+
+from repro.eval.extensions import deadend_experiment
+from repro.utils.tables import format_table
+
+from .conftest import emit
+
+
+def test_table6_deadend_prevention(benchmark):
+    def run():
+        return deadend_experiment(
+            gammas=(2.0, 3.0, 4.0, 5.0), seed=11, rate=500.0, workload_scale=0.02
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Table VI: dead-end prevention (DNET-like trace with garages)",
+        format_table(
+            ["setting", "success rate", "avg delay (h)"],
+            [[r.label, round(r.success_rate, 3), round(r.avg_delay / 3600.0, 2)] for r in rows],
+        ),
+    )
+    org = rows[0]
+    gammas = rows[1:]
+    assert org.label == "ORG"
+    # Table VI shape: prevention raises the hit rate and lowers the delay.
+    # (Our detector evaluates the stay length directly, so all gamma in
+    # [2, 5] catch the hours-long breakdowns equally; the paper's small
+    # gamma-sensitivity stems from detection latency - see EXPERIMENTS.md.)
+    best = max(gammas, key=lambda r: r.success_rate)
+    assert best.success_rate >= org.success_rate
+    assert gammas[0].success_rate >= gammas[-1].success_rate - 0.02
+    assert min(r.avg_delay for r in gammas) < org.avg_delay

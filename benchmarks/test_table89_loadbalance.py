@@ -1,0 +1,50 @@
+"""Tables VIII and IX — load balancing under overload (Section IV-E.3).
+
+Packet rates are pushed into the overload regime (nominal 1100-1500
+packets/landmark/day) and the backup-next-hop diversion is toggled.
+
+The paper reports modest success/delay gains from W-Balance.  In our
+replay, congestion is *global* (every carrier buffer is the bottleneck)
+rather than concentrated on individual links, so the work-conserving
+diversion lands within noise of W/O-Balance; the rows below report the
+measured values and the assertions only require that balancing does not
+materially hurt.  See EXPERIMENTS.md for the discussion.
+"""
+
+from repro.eval.extensions import loadbalance_experiment
+from repro.utils.tables import format_table
+
+from .conftest import emit
+
+
+def test_table8_9_load_balancing(benchmark, dart_trace, dart_profile):
+    def run():
+        return loadbalance_experiment(
+            dart_trace, dart_profile,
+            rates=(1100.0, 1200.0, 1300.0, 1400.0, 1500.0), seed=3,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Tables VIII-IX: load balancing on overloaded links (DART)",
+        format_table(
+            ["rate", "success W/O", "success W", "delay W/O (h)", "delay W (h)"],
+            [
+                [
+                    int(r.rate),
+                    round(r.success_without, 3),
+                    round(r.success_with, 3),
+                    round(r.delay_without / 3600.0, 1),
+                    round(r.delay_with / 3600.0, 1),
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    # overload regime: success degrades as the rate grows
+    succ = [r.success_without for r in rows]
+    assert succ[-1] < succ[0]
+    # balancing stays within a small band of the unbalanced run
+    for r in rows:
+        assert r.success_with >= r.success_without - 0.05
+        assert r.delay_with <= r.delay_without * 1.10

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Campus data collection: every building reports to the library.
+
+Recreates the paper's real deployment (Section V-C): nine students carry
+phones across eight campus landmarks; each non-library landmark generates
+sensor reports addressed to the library (the paper's L1), and the students'
+ordinary movements deliver them.
+
+Prints the deployment dashboard: success rate, delay quantiles, the transit
+bandwidth map and the routing tables — Fig. 16 and Table X in miniature.
+
+Run:  python examples/campus_data_mule.py
+"""
+
+from repro.eval.deployment import LIBRARY, run_deployment
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    result = run_deployment(trace_days=6, seed=7)
+    m = result.metrics
+
+    print("=== campus deployment: all packets -> library (L0) ===\n")
+    print(f"packets generated : {m.generated}")
+    print(f"delivered         : {m.delivered}  ({m.success_rate:.1%})")
+    s = result.delay_summary
+    print(
+        "delay (minutes)   : "
+        f"min={s.minimum / 60:.0f}  q1={s.q1 / 60:.0f}  mean={s.mean / 60:.0f}  "
+        f"q3={s.q3 / 60:.0f}  max={s.maximum / 60:.0f}"
+    )
+
+    print("\nmeasured transit-link bandwidths (Fig. 16b; < 0.14 omitted):")
+    rows = [
+        [f"L{a} -> L{b}", round(bw, 2)]
+        for (a, b), bw in sorted(result.link_bandwidths.items(), key=lambda kv: -kv[1])
+    ]
+    print(format_table(["link", "transits/unit"], rows))
+
+    print("\nrouting tables (Table X; delay in hours):")
+    rows = []
+    for lid, entries in sorted(result.routing_tables.items()):
+        for e in entries:
+            if e.dest == LIBRARY:
+                rows.append([f"L{lid}", f"L{e.next_hop}", round(e.delay / 3600.0, 1)])
+    print(format_table(["landmark", "next hop to library", "expected delay"], rows))
+
+    print(
+        "\nEvery landmark has learned a route to the library purely from "
+        "student movements - no fixed links, no GPS, no infrastructure "
+        "beyond the eight central stations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: route packets between campus buildings with DTN-FLOW.
+
+Builds a synthetic campus mobility trace (the DART-like substitute), runs
+DTN-FLOW and two baselines over the same workload, and prints the paper's
+four metrics side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PAPER_PROTOCOLS, SimConfig, dart_like, make_protocol, run_simulation
+from repro.mobility.trace import days
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # 1) a mobility trace: 60 students over ~23 campus buildings, 40 days,
+    #    generated as a raw WLAN association log and cleaned by the same
+    #    preprocessing pipeline the paper applied to the real DART data
+    trace = dart_like("small", seed=1)
+    print(f"trace: {trace}")
+
+    # 2) the experiment workload (Section V-A.1 of the paper, scaled down):
+    #    500 packets per landmark per day nominal, 2000 kB node buffers,
+    #    20-day TTL scaled to the shorter trace
+    config = SimConfig(
+        rate_per_landmark_per_day=500.0,
+        workload_scale=0.01,          # scale packets to the smaller trace
+        memory_scale=0.005,           # keep memory the binding resource
+        node_memory_kb=2000.0,
+        ttl=days(7.0),
+        time_unit=days(3.0),
+        seed=3,
+        contact_prob=0.2,
+    )
+
+    # 3) run DTN-FLOW against two of the paper's baselines
+    rows = []
+    for name in ("DTN-FLOW", "SimBet", "PROPHET"):
+        result = run_simulation(trace, make_protocol(name), config)
+        rows.append(
+            [
+                name,
+                result.generated,
+                f"{result.success_rate:.3f}",
+                f"{result.avg_delay / 3600.0:.1f}",
+                result.forwarding_ops,
+                result.total_cost,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["protocol", "packets", "success rate", "avg delay (h)", "fwd ops", "total cost"],
+            rows,
+            title="Campus data exchange, identical workload:",
+        )
+    )
+    print(
+        "\nDTN-FLOW forwards along inter-landmark flows, so it delivers the "
+        "most packets with the lowest delay among the high-success methods."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Wildlife tracking: collect collar logs at a ranger base camp.
+
+The paper cites ZebraNet as a DTN application: digital collars on animals
+log sensor data, and the logs must reach researchers without any network
+infrastructure.  Animals congregate at waterholes — natural landmarks —
+so solar stations at the waterholes plus DTN-FLOW turn herd movements into
+a data-collection network.  Collared animals also relay packets *for each
+other's* logs between waterholes, which is exactly the inter-landmark flow
+idea.
+
+Shows: landmark selection from raw sighting coordinates (Section IV-A),
+dead-end prevention (an animal that wanders far from all waterholes), and
+addressing packets to the base camp.
+
+Run:  python examples/wildlife_collar_collection.py
+"""
+
+import numpy as np
+
+from repro.core import DTNFlowConfig, DTNFlowProtocol, Place, select_landmarks
+from repro.mobility.trace import Trace, VisitRecord, days, hours
+from repro.sim import SimConfig, Simulation
+from repro.utils.tables import format_table
+
+BASE_CAMP = 0
+N_WATERHOLES = 5
+N_ANIMALS = 20
+DAYS = 40
+
+
+def build_trace(seed: int = 21) -> Trace:
+    """Herds rotating between waterholes; rangers shuttle camp <-> holes."""
+    rng = np.random.default_rng(seed)
+    records = []
+    # herd structure: each animal prefers 2-3 waterholes near its range
+    for animal in range(N_ANIMALS):
+        fav = 1 + animal % N_WATERHOLES
+        second = 1 + (animal + 1 + animal % 2) % N_WATERHOLES
+        t = rng.uniform(0, hours(6))
+        for day in range(DAYS):
+            t = day * days(1.0) + hours(5) + rng.uniform(0, hours(2))
+            # morning and evening drinking visits; occasional wandering
+            for _ in range(2):
+                if rng.random() < 0.1:
+                    hole = 1 + int(rng.integers(0, N_WATERHOLES))
+                elif rng.random() < 0.7:
+                    hole = fav
+                else:
+                    hole = second
+                dwell = rng.uniform(hours(0.5), hours(2))
+                records.append(
+                    VisitRecord(start=t, end=t + dwell, node=animal, landmark=hole)
+                )
+                t += dwell + rng.uniform(hours(3), hours(6))
+    # two ranger vehicles: daily circuit base camp -> two waterholes -> camp
+    for ranger in (100, 101, 102):
+        for day in range(DAYS):
+            t = day * days(1.0) + hours(7) + (ranger - 100) * hours(3)
+            circuit = [BASE_CAMP, 1 + (day + ranger) % N_WATERHOLES,
+                       1 + (day + ranger + 2) % N_WATERHOLES,
+                       1 + (day + ranger + 3) % N_WATERHOLES, BASE_CAMP]
+            for lm in circuit:
+                dwell = rng.uniform(hours(0.4), hours(1.0))
+                records.append(
+                    VisitRecord(start=t, end=t + dwell, node=ranger, landmark=int(lm))
+                )
+                t += dwell + rng.uniform(hours(0.5), hours(1.0))
+    return Trace(records, name="wildlife")
+
+
+def main() -> None:
+    trace = build_trace()
+    print(f"trace: {trace}")
+
+    # Section IV-A: rank candidate sites by popularity, keep those at least
+    # 3 km apart (two pools of the same waterhole are one landmark)
+    rng = np.random.default_rng(0)
+    candidates = []
+    for lm in trace.landmarks:
+        visits = sum(1 for r in trace if r.landmark == lm)
+        x, y = rng.uniform(0, 30, 2)
+        candidates.append(Place(place_id=lm, x=float(x), y=float(y), visits=visits))
+    chosen = select_landmarks(candidates, d_min=3.0)
+    print(f"landmark sites kept: {[p.place_id for p in chosen]}")
+
+    # collar logs: every waterhole generates reports for the base camp
+    config = SimConfig(
+        rate_per_landmark_per_day=12.0,
+        node_memory_kb=60.0,
+        ttl=days(6.0),
+        time_unit=days(1.0),
+        seed=2,
+        destinations=(BASE_CAMP,),
+        sources=tuple(l for l in trace.landmarks if l != BASE_CAMP),
+    )
+    protocol = DTNFlowProtocol(
+        DTNFlowConfig(enable_deadend=True, deadend_gamma=3.0)
+    )
+    result = Simulation(trace, protocol, config).run()
+
+    print()
+    rows = [
+        ["collar logs generated", result.generated],
+        ["collected at base camp", result.delivered],
+        ["collection rate", f"{result.success_rate:.3f}"],
+        ["avg latency (h)", f"{result.avg_delay / 3600:.1f}"],
+        ["expired in the bush", result.dropped_ttl],
+    ]
+    print(format_table(["metric", "value"], rows, title="Collar-log collection:"))
+
+    # which waterhole routes feed the camp?
+    camp_routes = []
+    for lid, table in protocol.routing_tables().items():
+        if lid == BASE_CAMP:
+            continue
+        entry = table.lookup(BASE_CAMP)
+        if entry:
+            camp_routes.append([f"waterhole {lid}", f"via {entry.next_hop}",
+                                round(entry.delay / 3600, 1)])
+    print()
+    print(format_table(["from", "route to camp", "delay (h)"], camp_routes,
+                       title="Learned collection routes:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Baseline routing protocols and the protocol registry.
+
+The five paper baselines (Section V-A.1) plus two bracketing references.
+:func:`make_protocol` builds a fresh protocol instance by name — experiment
+configs refer to protocols by these names.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.baselines.base import UtilityProtocol
+from repro.baselines.extras import DirectDeliveryProtocol, EpidemicProtocol
+from repro.baselines.geocomm import GeoCommProtocol
+from repro.baselines.per import PERProtocol
+from repro.baselines.pgr import PGRProtocol
+from repro.baselines.prophet import ProphetProtocol
+from repro.baselines.simbet import SimBetProtocol
+from repro.baselines.spraywait import SprayAndWaitProtocol
+from repro.core.router import DTNFlowConfig, DTNFlowProtocol
+from repro.sim.engine import RoutingProtocol
+
+_REGISTRY: Dict[str, Callable[[], RoutingProtocol]] = {
+    "DTN-FLOW": DTNFlowProtocol,
+    "SimBet": SimBetProtocol,
+    "PROPHET": ProphetProtocol,
+    "PGR": PGRProtocol,
+    "GeoComm": GeoCommProtocol,
+    "PER": PERProtocol,
+    "Direct": DirectDeliveryProtocol,
+    "Epidemic": EpidemicProtocol,
+    "SprayWait": SprayAndWaitProtocol,
+}
+
+#: the six methods compared throughout Section V, in the paper's order
+PAPER_PROTOCOLS = ("DTN-FLOW", "SimBet", "PROPHET", "PGR", "GeoComm", "PER")
+
+
+def protocol_names() -> List[str]:
+    """All registered protocol names."""
+    return sorted(_REGISTRY)
+
+
+def make_protocol(name: str, **kwargs) -> RoutingProtocol:
+    """Instantiate a registered protocol by name (fresh state every call)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {protocol_names()}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "UtilityProtocol",
+    "DirectDeliveryProtocol",
+    "EpidemicProtocol",
+    "GeoCommProtocol",
+    "PERProtocol",
+    "PGRProtocol",
+    "ProphetProtocol",
+    "SimBetProtocol",
+    "SprayAndWaitProtocol",
+    "DTNFlowProtocol",
+    "DTNFlowConfig",
+    "PAPER_PROTOCOLS",
+    "protocol_names",
+    "make_protocol",
+]

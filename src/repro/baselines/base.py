@@ -1,0 +1,113 @@
+"""Shared machinery for the baseline routing protocols (Section V-A.1).
+
+The paper compares DTN-FLOW against SimBet, PROPHET, PGR, GeoComm and PER,
+all "adapted to fit landmark-to-landmark routing": each protocol defines a
+*utility* ``U_n(L)`` — how suitable node ``n`` is for carrying packets toward
+destination landmark ``L`` — and packets always move to higher-utility
+holders:
+
+* a landmark station hands a queued packet to the connected node with the
+  highest positive utility for the packet's destination;
+* at a node-node contact, a packet moves when the peer's utility exceeds
+  the holder's by more than ``forward_margin``;
+* delivery happens when a carrier connects to the destination landmark
+  (handled by the engine).
+
+Maintenance cost: on every contact the two nodes exchange their utility
+tables (and a node uploads its table when registering at a station), each
+charged as ``ceil(entries / table_entry_unit)`` operations, mirroring how
+the paper charges "forwarding a routing table or a meeting probability table
+with n entries".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.engine import RoutingProtocol, World
+from repro.sim.entities import LandmarkStation, MobileNode
+from repro.sim.packets import Packet
+
+
+class UtilityProtocol(RoutingProtocol):
+    """Base class for single-copy utility-gradient routing baselines."""
+
+    name = "utility"
+    uses_contacts = True
+    #: minimum utility advantage before a node-node forward happens
+    forward_margin = 0.0
+    #: station hands a packet over only when the carrier utility exceeds this
+    station_threshold = 0.0
+
+    # -- protocol-specific ---------------------------------------------------------
+    def utility(self, world: World, node: MobileNode, dest: int, t: float) -> float:
+        """Suitability of ``node`` to carry packets toward landmark ``dest``."""
+        raise NotImplementedError
+
+    def table_size(self, world: World, node: MobileNode) -> int:
+        """Entries in the node's utility table (for maintenance accounting)."""
+        return world.trace.n_landmarks
+
+    def learn_visit(
+        self, world: World, node: MobileNode, station: LandmarkStation, t: float
+    ) -> None:
+        """Update mobility knowledge when ``node`` connects to ``station``."""
+
+    def learn_contact(
+        self, world: World, a: MobileNode, b: MobileNode, t: float
+    ) -> None:
+        """Update mobility knowledge on a node-node contact (optional)."""
+
+    # -- common mechanics ------------------------------------------------------------
+    def _station_push(
+        self, world: World, station: LandmarkStation, t: float
+    ) -> None:
+        """Hand station packets to the best connected carriers."""
+        nodes = world.connected_nodes(station)
+        if not nodes:
+            return
+        for p in station.buffer.packets():
+            best: Optional[MobileNode] = None
+            best_util = self.station_threshold
+            for nd in nodes:
+                if not nd.buffer.can_accept(p):
+                    continue
+                u = self.utility(world, nd, p.dst, t)
+                if u > best_util:
+                    best, best_util = nd, u
+            if best is not None:
+                world.station_to_node(station, best, p)
+
+    def _compare_and_forward(
+        self, world: World, holder: MobileNode, peer: MobileNode, t: float
+    ) -> None:
+        """Move ``holder``'s packets to ``peer`` when the peer ranks higher."""
+        for p in holder.buffer.packets():
+            u_holder = self.utility(world, holder, p.dst, t)
+            u_peer = self.utility(world, peer, p.dst, t)
+            if u_peer > u_holder + self.forward_margin:
+                world.node_to_node(holder, peer, p)
+
+    # -- hooks -------------------------------------------------------------------------
+    def on_visit_start(
+        self, world: World, node: MobileNode, station: LandmarkStation, t: float
+    ) -> None:
+        self.learn_visit(world, node, station, t)
+        # node registers its utility table with the station
+        world.metrics.on_table_exchange(self.table_size(world, node))
+        self._station_push(world, station, t)
+
+    def on_contact(
+        self, world: World, a: MobileNode, b: MobileNode, station: LandmarkStation, t: float
+    ) -> None:
+        self.learn_contact(world, a, b, t)
+        # bidirectional utility-table exchange
+        world.metrics.on_table_exchange(self.table_size(world, a))
+        world.metrics.on_table_exchange(self.table_size(world, b))
+        self._compare_and_forward(world, a, b, t)
+        self._compare_and_forward(world, b, a, t)
+
+    def on_packet_generated(
+        self, world: World, station: LandmarkStation, packet: Packet, t: float
+    ) -> None:
+        self._station_push(world, station, t)

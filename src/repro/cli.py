@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``summary``     trace characteristics + Section III-B analytics
+``run``         one experiment (trace x protocol x memory x rate)
+``compare``     all six paper protocols on the same workload
+``sweep``       the Fig. 11-14 memory/rate sweeps
+``deployment``  the Section V-C campus deployment
+``predict``     the Fig. 6 order-k prediction study
+
+Traces are either the built-in profiles (``dart``, ``dnet``) or a CSV file
+written by :func:`repro.mobility.io.dump_trace` (pass a path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import PAPER_PROTOCOLS, make_protocol, protocol_names
+from repro.core import evaluate_predictor
+from repro.eval.config import TraceProfile, trace_profile
+from repro.eval.confidence import run_with_confidence
+from repro.eval.deployment import run_deployment
+from repro.eval.sweeps import memory_sweep, rate_sweep
+from repro.mobility import io as trace_io
+from repro.mobility import stats
+from repro.mobility.trace import Trace, days
+from repro.sim.engine import Simulation
+from repro.utils.tables import format_table
+
+
+def _resolve_trace(spec: str, seed: int) -> tuple:
+    """Return (trace, profile) for a profile name or a trace CSV path."""
+    key = spec.upper()
+    if key in ("DART", "DNET"):
+        profile = trace_profile(key)
+        return profile.build(seed), profile
+    trace = trace_io.load_trace(spec)
+    # generic profile for external traces: day-scale time unit, 1/5 of the
+    # trace duration as TTL
+    profile = TraceProfile(
+        name=trace.name,
+        build=lambda s: trace,
+        ttl=max(days(0.5), trace.duration / 5.0),
+        time_unit=max(days(0.25), trace.duration / 20.0),
+        workload_scale=1.0,
+        memory_pressure=1.0,
+    )
+    return trace, profile
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    trace, profile = _resolve_trace(args.trace, args.seed)
+    s = stats.trace_summary(trace)
+    print(format_table(
+        ["trace", "nodes", "landmarks", "days", "records", "transits"],
+        [s.as_row()],
+    ))
+    links = stats.ordered_link_bandwidths(trace, profile.time_unit)
+    conc = stats.bandwidth_concentration(trace, profile.time_unit)
+    print(f"\ntransit links: {len(links)}; top-20% links carry {conc:.0%} of flow")
+    rows = [
+        [f"{l.src}->{l.dst}", round(l.bandwidth, 2), round(l.matching_bandwidth, 2)]
+        for l in links[: args.top]
+    ]
+    print(format_table(["link", "bw/unit", "matching"], rows, title="busiest links:"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    trace, profile = _resolve_trace(args.trace, args.seed)
+    config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
+    protocol = make_protocol(args.protocol)
+    result = Simulation(trace, protocol, config).run()
+    rows = [
+        ["packets generated", result.generated],
+        ["delivered", result.delivered],
+        ["success rate", f"{result.success_rate:.4f}"],
+        ["avg delay (h)", f"{result.avg_delay / 3600:.2f}"],
+        ["forwarding ops", result.forwarding_ops],
+        ["maintenance ops", result.maintenance_ops],
+        ["total cost", result.total_cost],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.protocol} on {trace.name}:"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace, profile = _resolve_trace(args.trace, args.seed)
+    rows = []
+    for name in PAPER_PROTOCOLS:
+        if args.seeds > 1:
+            cis = run_with_confidence(
+                trace, profile, name,
+                seeds=tuple(range(args.seed, args.seed + args.seeds)),
+                memory_kb=args.memory, rate=args.rate,
+            )
+            rows.append([
+                name,
+                str(cis["success_rate"]),
+                f"{cis['avg_delay'].mean / 3600:.1f} ± {cis['avg_delay'].half_width / 3600:.1f}",
+                str(cis["forwarding_ops"]),
+                str(cis["total_cost"]),
+            ])
+        else:
+            config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
+            r = Simulation(trace, make_protocol(name), config).run()
+            rows.append([
+                name, f"{r.success_rate:.3f}", f"{r.avg_delay / 3600:.1f}",
+                r.forwarding_ops, r.total_cost,
+            ])
+    print(format_table(
+        ["protocol", "success rate", "avg delay (h)", "fwd ops", "total cost"],
+        rows,
+        title=f"{trace.name}, memory={args.memory:g} kB, rate={args.rate:g}/lm/day:",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    trace, profile = _resolve_trace(args.trace, args.seed)
+    protocols = args.protocols.split(",") if args.protocols else list(PAPER_PROTOCOLS)
+    if args.parameter == "memory":
+        values = [float(v) for v in (args.values.split(",") if args.values else
+                                     ["1200", "1600", "2000", "2400", "3000"])]
+        result = memory_sweep(trace, profile, memories_kb=values,
+                              rate=args.rate, protocols=protocols, seed=args.seed)
+    else:
+        values = [float(v) for v in (args.values.split(",") if args.values else
+                                     ["100", "300", "500", "700", "1000"])]
+        result = rate_sweep(trace, profile, rates=values,
+                            memory_kb=args.memory, protocols=protocols, seed=args.seed)
+    for metric in ("success_rate", "avg_delay", "forwarding_cost", "total_cost"):
+        print(result.metric_table(metric))
+        print()
+    return 0
+
+
+def cmd_deployment(args: argparse.Namespace) -> int:
+    result = run_deployment(trace_days=args.days, seed=args.seed)
+    m = result.metrics
+    s = result.delay_summary
+    print(f"success rate : {m.success_rate:.3f} ({m.delivered}/{m.generated})")
+    if s is not None:
+        print(
+            "delay (min)  : "
+            f"min={s.minimum/60:.0f} q1={s.q1/60:.0f} mean={s.mean/60:.0f} "
+            f"q3={s.q3/60:.0f} max={s.maximum/60:.0f}"
+        )
+    rows = [
+        [f"L{a}->L{b}", round(bw, 2)]
+        for (a, b), bw in sorted(result.link_bandwidths.items(), key=lambda kv: -kv[1])
+    ]
+    print(format_table(["link", "bw/unit"], rows, title="transit links:"))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    trace, _ = _resolve_trace(args.trace, args.seed)
+    rows = []
+    for k in (1, 2, 3):
+        ev = evaluate_predictor(trace, k)
+        s = ev.summary()
+        rows.append([k, round(ev.mean_accuracy, 3), round(s.q1, 3), round(s.q3, 3)])
+    print(format_table(["k", "mean accuracy", "q1", "q3"], rows,
+                       title=f"order-k transit prediction on {trace.name}:"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DTN-FLOW reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", default="dart",
+                       help="'dart', 'dnet', or a trace CSV path (default: dart)")
+        p.add_argument("--seed", type=int, default=1, help="trace/workload seed")
+
+    p = sub.add_parser("summary", help="trace characteristics and link analytics")
+    add_common(p)
+    p.add_argument("--top", type=int, default=10, help="busiest links to list")
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("run", help="run one protocol on one workload")
+    add_common(p)
+    p.add_argument("--protocol", default="DTN-FLOW", choices=protocol_names())
+    p.add_argument("--memory", type=float, default=2000.0, help="node memory (kB)")
+    p.add_argument("--rate", type=float, default=500.0, help="packets/landmark/day")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="all six paper protocols, same workload")
+    add_common(p)
+    p.add_argument("--memory", type=float, default=2000.0)
+    p.add_argument("--rate", type=float, default=500.0)
+    p.add_argument("--seeds", type=int, default=1,
+                   help="number of workload seeds (>1 adds 95%% CIs)")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="memory or rate sweep (Figs. 11-14)")
+    add_common(p)
+    p.add_argument("parameter", choices=["memory", "rate"])
+    p.add_argument("--values", default=None, help="comma-separated sweep values")
+    p.add_argument("--memory", type=float, default=2000.0)
+    p.add_argument("--rate", type=float, default=500.0)
+    p.add_argument("--protocols", default=None, help="comma-separated protocol names")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("deployment", help="the Section V-C campus deployment")
+    p.add_argument("--days", type=int, default=6)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_deployment)
+
+    p = sub.add_parser("predict", help="order-k prediction accuracy (Fig. 6)")
+    add_common(p)
+    p.set_defaults(func=cmd_predict)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""DTN-FLOW core: prediction, landmark planning, bandwidth measurement,
+routing tables, the router protocol, and the Section IV-E extensions."""
+
+from repro.core.bandwidth import BackwardReport, BandwidthEstimator, EPSILON_BANDWIDTH
+from repro.core.deadend import DeadEndDetector
+from repro.core.landmarks import (
+    Place,
+    SubareaMap,
+    places_from_visit_counts,
+    plan_landmarks,
+    render_subareas_ascii,
+    select_landmarks,
+)
+from repro.core.loadbalance import LinkLoadMonitor
+from repro.core.loops import LoopCorrector, LoopEvent, inject_loop
+from repro.core.node_routing import NodeLocationRegistry
+from repro.core.predictor import (
+    AccuracyTracker,
+    MarkovPredictor,
+    PredictorEvaluation,
+    best_order,
+    evaluate_predictor,
+)
+from repro.core.router import DTNFlowConfig, DTNFlowProtocol
+from repro.core.routing_table import RouteEntry, RoutingTable, TableSnapshot
+from repro.core.scheduler import FORWARD, UPLOAD, CommScheduler, SchedulerConfig
+
+__all__ = [
+    "BackwardReport",
+    "BandwidthEstimator",
+    "EPSILON_BANDWIDTH",
+    "DeadEndDetector",
+    "Place",
+    "SubareaMap",
+    "places_from_visit_counts",
+    "plan_landmarks",
+    "render_subareas_ascii",
+    "select_landmarks",
+    "LinkLoadMonitor",
+    "LoopCorrector",
+    "LoopEvent",
+    "inject_loop",
+    "NodeLocationRegistry",
+    "AccuracyTracker",
+    "MarkovPredictor",
+    "PredictorEvaluation",
+    "best_order",
+    "evaluate_predictor",
+    "DTNFlowConfig",
+    "DTNFlowProtocol",
+    "RouteEntry",
+    "RoutingTable",
+    "TableSnapshot",
+    "FORWARD",
+    "UPLOAD",
+    "CommScheduler",
+    "SchedulerConfig",
+]

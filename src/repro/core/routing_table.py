@@ -1,0 +1,247 @@
+"""Distance-vector routing tables on landmarks (Section IV-C.2, Table IV/V).
+
+Each landmark builds a routing table mapping every known destination landmark
+to the next-hop neighbour landmark and the overall expected delay.  Tables
+are exchanged between neighbour landmarks *through mobile nodes*: a node
+departing landmark ``A`` carries a snapshot of ``A``'s table and delivers it
+to whatever landmark it connects to next.
+
+The merge rule is the classic distance-vector relaxation, with the paper's
+staleness check: a received table older (by time-unit sequence) than the last
+one received from the same neighbour is discarded.
+
+For the load-balancing extension (Section IV-E.3, Table V) every entry also
+tracks a *backup* next hop: the neighbour offering the second-lowest overall
+delay via a different next hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import math
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One routing-table row (Table V layout: primary + backup next hop)."""
+
+    dest: int
+    next_hop: int
+    delay: float
+    backup_next_hop: Optional[int] = None
+    backup_delay: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative delay for dest {self.dest}: {self.delay}")
+        # NB: within the table's switch hysteresis band the backup may carry
+        # a marginally lower delay than the primary (a near-equal alternative
+        # that was not worth switching to), so no ordering invariant here.
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """An immutable copy of a landmark's table, as carried by mobile nodes."""
+
+    origin: int
+    seq: int
+    entries: Tuple[RouteEntry, ...]
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.entries)
+
+
+class RoutingTable:
+    """The mutable distance-vector table living on one landmark.
+
+    ``switch_hysteresis`` damps next-hop churn: an alternative next hop
+    replaces the current one only when its delay is better by that factor
+    (e.g. 0.9 = at least 10 % better).  Measured link delays drift with
+    every EWMA fold, so without hysteresis next hops flap between
+    near-equal paths — hurting both the Fig. 8 stability metric and packets
+    in flight (their carriers chase a moving target).
+    """
+
+    def __init__(self, landmark_id: int, *, switch_hysteresis: float = 0.9) -> None:
+        if not 0.0 < switch_hysteresis <= 1.0:
+            raise ValueError(f"switch_hysteresis must be in (0, 1], got {switch_hysteresis}")
+        self.landmark_id = landmark_id
+        self.switch_hysteresis = switch_hysteresis
+        self._entries: Dict[int, RouteEntry] = {}
+        # freshest table seq seen per neighbour (staleness check)
+        self._neighbor_seq: Dict[int, int] = {}
+
+    # -- local link updates -------------------------------------------------------
+    def set_direct_link(self, neighbor: int, delay: float) -> None:
+        """(Re)initialise the direct route to a neighbour landmark.
+
+        Called whenever the bandwidth estimator refreshes the expected link
+        delay.  If the direct route beats the current entry (or the current
+        entry routes via this neighbour), it replaces it.
+        """
+        if neighbor == self.landmark_id:
+            return
+        cur = self._entries.get(neighbor)
+        if cur is not None and cur.next_hop != neighbor and delay >= cur.delay:
+            # a learned multi-hop route is better; keep the direct link as
+            # the backup alternative
+            self._offer_route(neighbor, neighbor, delay)
+            return
+        if cur is None or delay < cur.delay or cur.next_hop == neighbor:
+            backup_hop, backup_delay = (None, math.inf)
+            if cur is not None and cur.next_hop != neighbor:
+                backup_hop, backup_delay = cur.next_hop, cur.delay
+            elif cur is not None:
+                backup_hop, backup_delay = cur.backup_next_hop, cur.backup_delay
+            if backup_hop is not None and backup_delay < self.switch_hysteresis * delay:
+                # direct link got clearly worse than the alternative: swap
+                self._entries[neighbor] = RouteEntry(
+                    dest=neighbor,
+                    next_hop=backup_hop,
+                    delay=backup_delay,
+                    backup_next_hop=neighbor,
+                    backup_delay=delay,
+                )
+            else:
+                self._entries[neighbor] = RouteEntry(
+                    dest=neighbor,
+                    next_hop=neighbor,
+                    delay=delay,
+                    backup_next_hop=backup_hop,
+                    backup_delay=backup_delay,
+                )
+
+    # -- distance-vector merging ------------------------------------------------
+    def merge_snapshot(self, snap: TableSnapshot, link_delay: float) -> bool:
+        """Merge a neighbour's table snapshot (Fig. 7's update procedure).
+
+        ``link_delay`` is this landmark's expected delay to reach the
+        snapshot's origin.  Returns False when the snapshot is stale (its
+        ``seq`` is not newer than the last accepted one from that origin).
+        """
+        last = self._neighbor_seq.get(snap.origin)
+        if last is not None and snap.seq < last:
+            return False
+        self._neighbor_seq[snap.origin] = snap.seq
+
+        via = snap.origin
+        for remote in snap.entries:
+            dest = remote.dest
+            if dest == self.landmark_id:
+                continue
+            # split horizon: ignore routes the neighbour has *through us*
+            if remote.next_hop == self.landmark_id:
+                continue
+            total = link_delay + remote.delay
+            self._offer_route(dest, via, total)
+        # the origin itself is reachable over the direct link
+        self._offer_route(via, via, link_delay)
+        return True
+
+    def _offer_route(self, dest: int, via: int, delay: float) -> None:
+        """Consider routing to ``dest`` through neighbour ``via``."""
+        cur = self._entries.get(dest)
+        if cur is None:
+            self._entries[dest] = RouteEntry(dest=dest, next_hop=via, delay=delay)
+            return
+        if via == cur.next_hop:
+            # fresher info over the same next hop replaces the delay outright
+            if delay != cur.delay:
+                backup_hop, backup_delay = cur.backup_next_hop, cur.backup_delay
+                if backup_hop is not None and backup_delay < self.switch_hysteresis * delay:
+                    self._entries[dest] = RouteEntry(
+                        dest=dest, next_hop=backup_hop, delay=backup_delay,
+                        backup_next_hop=via, backup_delay=delay,
+                    )
+                else:
+                    self._entries[dest] = RouteEntry(
+                        dest=dest, next_hop=via, delay=delay,
+                        backup_next_hop=backup_hop, backup_delay=backup_delay,
+                    )
+            return
+        if delay < self.switch_hysteresis * cur.delay:
+            # clearly better: new primary; old primary becomes the backup
+            self._entries[dest] = RouteEntry(
+                dest=dest, next_hop=via, delay=delay,
+                backup_next_hop=cur.next_hop, backup_delay=cur.delay,
+            )
+        elif via == cur.backup_next_hop or delay < cur.backup_delay:
+            self._entries[dest] = RouteEntry(
+                dest=dest, next_hop=cur.next_hop, delay=cur.delay,
+                backup_next_hop=via, backup_delay=delay,
+            )
+
+    # -- queries --------------------------------------------------------------------
+    def lookup(self, dest: int) -> Optional[RouteEntry]:
+        """The routing entry for ``dest`` (None when unknown)."""
+        return self._entries.get(dest)
+
+    def next_hop(self, dest: int) -> Optional[int]:
+        entry = self._entries.get(dest)
+        return entry.next_hop if entry else None
+
+    def delay_to(self, dest: int) -> float:
+        """Expected overall delay to ``dest`` (inf when unknown)."""
+        if dest == self.landmark_id:
+            return 0.0
+        entry = self._entries.get(dest)
+        return entry.delay if entry else math.inf
+
+    @property
+    def destinations(self) -> List[int]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[RouteEntry]:
+        return [self._entries[d] for d in sorted(self._entries)]
+
+    # -- snapshots -----------------------------------------------------------------
+    def snapshot(self, seq: int) -> TableSnapshot:
+        """Produce the immutable copy handed to departing mobile nodes."""
+        return TableSnapshot(
+            origin=self.landmark_id, seq=seq, entries=tuple(self.entries())
+        )
+
+    # -- Fig. 8 metrics -------------------------------------------------------------
+    def coverage(self, n_landmarks: int) -> float:
+        """Fraction of all other landmarks this table can route to."""
+        if n_landmarks <= 1:
+            return 1.0
+        return len(self._entries) / (n_landmarks - 1)
+
+    def stability_against(self, previous: Dict[int, int]) -> float:
+        """1 - (fraction of destinations whose next hop changed).
+
+        ``previous`` maps destination -> next hop at the earlier observation
+        point; destinations new since then do not count as changes (matching
+        the paper's definition based on changed next-hop landmarks).
+        """
+        if not previous:
+            return 1.0
+        changed = sum(
+            1
+            for dest, hop in previous.items()
+            if dest in self._entries and self._entries[dest].next_hop != hop
+        )
+        return 1.0 - changed / len(previous)
+
+    def next_hop_map(self) -> Dict[int, int]:
+        """Destination -> next hop snapshot for stability tracking."""
+        return {d: e.next_hop for d, e in self._entries.items()}
+
+    # -- loop correction support (Section IV-E.2) -----------------------------------
+    def drop_destination(self, dest: int) -> None:
+        """Forget the route to ``dest`` (used when correcting loops)."""
+        self._entries.pop(dest, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(
+            f"{e.dest}->{e.next_hop}({e.delay:.3g})" for e in self.entries()[:6]
+        )
+        more = "..." if len(self) > 6 else ""
+        return f"RoutingTable(L{self.landmark_id}: {rows}{more})"

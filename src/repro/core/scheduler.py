@@ -1,0 +1,130 @@
+"""Communication scheduling at a landmark (Section IV-D.5 of the paper).
+
+A landmark talks to one node at a time, over either the uplink (node ->
+landmark) or the downlink (landmark -> node).  The scheduler:
+
+* scans for new nodes every ``scan_interval`` and lets them register;
+* switches between *uploading* and *forwarding* modes based on the ratio
+  ``R`` of packets held by the landmark to packets held by connected nodes:
+  when ``R < R_up`` it uploads (pulls packets off nodes), when ``R > R_down``
+  it forwards (pushes packets onto carriers);
+* in uploading mode serves the node holding the most *feasible* packets
+  (expected delay below remaining TTL), at most ``max_upload_batch`` packets
+  per turn;
+* in forwarding mode sends first the packet with the minimal remaining TTL
+  among feasible packets.
+
+The discrete-event engine abstracts link occupancy away (transfers during a
+visit are not rate-limited by default), so what matters operationally are the
+*priorities* this scheduler defines; they are exposed as sorting keys and
+used by the DTN-FLOW protocol whenever it moves packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.packets import Packet
+from repro.utils.validation import require_in_range, require_positive
+
+UPLOAD = "upload"
+FORWARD = "forward"
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the landmark communication scheduler."""
+
+    r_up: float = 0.67
+    r_down: float = 1.5
+    max_upload_batch: int = 50
+    scan_interval: float = 60.0
+    #: skip packets whose expected delay exceeds their remaining TTL
+    feasibility_check: bool = True
+    #: forwarding order: "urgent" (paper rule 4: minimal remaining TTL
+    #: first) or "fifo" (arrival order) - the ablation knob for IV-D.5
+    priority: str = "urgent"
+
+    def __post_init__(self) -> None:
+        require_positive("r_up", self.r_up)
+        require_positive("r_down", self.r_down)
+        if self.r_down < self.r_up:
+            raise ValueError(
+                f"r_down ({self.r_down}) must be >= r_up ({self.r_up}); the "
+                "mode hysteresis band would be inverted"
+            )
+        require_positive("max_upload_batch", self.max_upload_batch)
+        require_positive("scan_interval", self.scan_interval)
+        if self.priority not in ("urgent", "fifo"):
+            raise ValueError(f"priority must be 'urgent' or 'fifo', got {self.priority!r}")
+
+
+class CommScheduler:
+    """Mode selection + packet prioritisation for one landmark."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config or SchedulerConfig()
+        self._mode = FORWARD
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def update_mode(self, station_packets: int, node_packets: int) -> str:
+        """Hysteresis switch on the station/node packet ratio ``R``.
+
+        ``R < r_up``  -> switch to uploading (station is starved);
+        ``R > r_down`` -> switch to forwarding (station is backed up);
+        otherwise keep the current mode.
+        """
+        if node_packets <= 0:
+            ratio = float("inf") if station_packets > 0 else 1.0
+        else:
+            ratio = station_packets / node_packets
+        if ratio < self.config.r_up:
+            self._mode = UPLOAD
+        elif ratio > self.config.r_down:
+            self._mode = FORWARD
+        return self._mode
+
+    # -- priorities ------------------------------------------------------------------
+    def feasible(self, packet: Packet, expected_delay: float, now: float) -> bool:
+        """Whether the packet can still make its deadline via this route."""
+        if not self.config.feasibility_check:
+            return True
+        return expected_delay <= packet.remaining_ttl(now)
+
+    def forwarding_order(
+        self,
+        packets: Sequence[Packet],
+        expected_delay_of: Callable[[Packet], float],
+        now: float,
+    ) -> List[Packet]:
+        """Feasible packets in scheduling order.
+
+        ``urgent`` (default, the paper's rule): minimal remaining TTL first;
+        ``fifo``: packet-id (arrival) order.
+        """
+        feasible = [
+            p for p in packets if self.feasible(p, expected_delay_of(p), now)
+        ]
+        if self.config.priority == "urgent":
+            feasible.sort(key=lambda p: (p.remaining_ttl(now), p.pid))
+        else:
+            feasible.sort(key=lambda p: p.pid)
+        return feasible
+
+    def upload_priority(
+        self,
+        node_packet_counts: Sequence[Tuple[int, int]],
+    ) -> List[int]:
+        """Order node ids by how many feasible packets they hold (desc).
+
+        ``node_packet_counts`` is ``[(node_id, n_feasible_packets), ...]``.
+        """
+        ranked = sorted(node_packet_counts, key=lambda x: (-x[1], x[0]))
+        return [nid for nid, _ in ranked]
+
+    def upload_batch_size(self) -> int:
+        return self.config.max_upload_batch

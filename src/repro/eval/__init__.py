@@ -1,0 +1,54 @@
+"""Experiment harness: configs, runners, sweeps and extension evaluations."""
+
+from repro.eval.config import (
+    MEMORY_SWEEP_KB,
+    OVERLOAD_RATES,
+    RATE_SWEEP,
+    TraceProfile,
+    full_scale,
+    trace_profile,
+)
+from repro.eval.confidence import MetricCI, confidence_interval, run_with_confidence
+from repro.eval.coverage import CoveragePoint, table_coverage_series
+from repro.eval.deployment import LIBRARY, DeploymentResult, run_deployment
+from repro.eval.experiment import ExperimentResult, run_matrix, run_point
+from repro.eval.extensions import (
+    DeadEndRow,
+    LoadBalanceRow,
+    LoopRow,
+    deadend_experiment,
+    deadend_trace,
+    loadbalance_experiment,
+    loop_experiment,
+)
+from repro.eval.sweeps import SweepResult, memory_sweep, rate_sweep
+
+__all__ = [
+    "MEMORY_SWEEP_KB",
+    "OVERLOAD_RATES",
+    "RATE_SWEEP",
+    "TraceProfile",
+    "full_scale",
+    "trace_profile",
+    "MetricCI",
+    "confidence_interval",
+    "run_with_confidence",
+    "CoveragePoint",
+    "table_coverage_series",
+    "LIBRARY",
+    "DeploymentResult",
+    "run_deployment",
+    "ExperimentResult",
+    "run_matrix",
+    "run_point",
+    "DeadEndRow",
+    "LoadBalanceRow",
+    "LoopRow",
+    "deadend_experiment",
+    "deadend_trace",
+    "loadbalance_experiment",
+    "loop_experiment",
+    "SweepResult",
+    "memory_sweep",
+    "rate_sweep",
+]

@@ -1,0 +1,74 @@
+"""Routing-table coverage and stability over time (Fig. 8 of the paper).
+
+The paper measures, at 10 evenly distributed observation points:
+
+* **coverage** — a landmark's routing-table size over the total number of
+  other landmarks, averaged over landmarks;
+* **stability** — one minus the fraction of destinations whose next-hop
+  landmark changed since the previous observation point.
+
+Both should climb to ~1 after the first few observation points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.router import DTNFlowConfig, DTNFlowProtocol
+from repro.eval.config import TraceProfile
+from repro.mobility.trace import Trace
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One observation point of the Fig. 8 series."""
+
+    time: float
+    mean_coverage: float
+    mean_stability: float
+
+
+def table_coverage_series(
+    trace: Trace,
+    profile: TraceProfile,
+    *,
+    n_points: int = 10,
+    rate: float = 500.0,
+    seed: int = 0,
+    config: Optional[DTNFlowConfig] = None,
+) -> List[CoveragePoint]:
+    """Run DTN-FLOW and sample table coverage/stability at ``n_points``."""
+    protocol = DTNFlowProtocol(config)
+    sim_config = profile.sim_config(rate=rate, seed=seed)
+    t0, t1 = trace.start_time, trace.end_time
+    times = [t0 + (i + 1) * (t1 - t0) / n_points for i in range(n_points)]
+
+    observations: List[CoveragePoint] = []
+    prev_hops: Dict[int, Dict[int, int]] = {}
+
+    def make_probe(at: float):
+        def probe(world) -> None:
+            tables = protocol.routing_tables()
+            n_lm = trace.n_landmarks
+            covs, stabs = [], []
+            for lid, table in tables.items():
+                covs.append(table.coverage(n_lm))
+                stabs.append(table.stability_against(prev_hops.get(lid, {})))
+                prev_hops[lid] = table.next_hop_map()
+            observations.append(
+                CoveragePoint(
+                    time=at,
+                    mean_coverage=float(np.mean(covs)) if covs else 0.0,
+                    mean_stability=float(np.mean(stabs)) if stabs else 1.0,
+                )
+            )
+
+        return probe
+
+    probes = [(t, make_probe(t)) for t in times]
+    Simulation(trace, protocol, sim_config, probes=probes).run()
+    return observations

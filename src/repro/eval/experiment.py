@@ -1,0 +1,66 @@
+"""Single-experiment runner tying traces, protocols and configs together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.baselines import make_protocol
+from repro.eval.config import TraceProfile
+from repro.mobility.trace import Trace
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.metrics import MetricsSummary
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A labelled metrics summary with the knobs that produced it."""
+
+    protocol: str
+    trace: str
+    memory_kb: float
+    rate: float
+    seed: int
+    metrics: MetricsSummary
+
+
+def run_point(
+    trace: Trace,
+    profile: TraceProfile,
+    protocol_name: str,
+    *,
+    memory_kb: float = 2000.0,
+    rate: float = 500.0,
+    seed: int = 0,
+    protocol_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run one (trace, protocol, memory, rate) experiment point."""
+    config = profile.sim_config(memory_kb=memory_kb, rate=rate, seed=seed)
+    protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
+    summary = Simulation(trace, protocol, config).run()
+    return ExperimentResult(
+        protocol=protocol_name,
+        trace=trace.name,
+        memory_kb=memory_kb,
+        rate=rate,
+        seed=seed,
+        metrics=summary,
+    )
+
+
+def run_matrix(
+    trace: Trace,
+    profile: TraceProfile,
+    protocols: Sequence[str],
+    *,
+    memory_kb: float = 2000.0,
+    rate: float = 500.0,
+    seed: int = 0,
+) -> Dict[str, ExperimentResult]:
+    """Run every protocol on the same workload; keyed by protocol name."""
+    return {
+        name: run_point(
+            trace, profile, name, memory_kb=memory_kb, rate=rate, seed=seed
+        )
+        for name in protocols
+    }

@@ -1,0 +1,104 @@
+"""Parameter sweeps regenerating Figs. 11-14 of the paper.
+
+Each sweep returns a :class:`SweepResult`: per-protocol series of the four
+metrics (success rate, average delay, forwarding cost, total cost) across
+the swept parameter — exactly the data behind the paper's four-panel
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines import PAPER_PROTOCOLS
+from repro.eval.config import MEMORY_SWEEP_KB, RATE_SWEEP, TraceProfile
+from repro.eval.experiment import run_point
+from repro.mobility.trace import Trace
+from repro.utils.tables import format_table
+
+
+@dataclass
+class SweepResult:
+    """Results of sweeping one parameter over several protocols."""
+
+    trace: str
+    parameter: str  # "memory_kb" | "rate"
+    values: Tuple[float, ...]
+    #: protocol -> metric -> series aligned with ``values``
+    series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    METRICS = ("success_rate", "avg_delay", "forwarding_cost", "total_cost")
+
+    def add(self, protocol: str, summary) -> None:
+        rec = self.series.setdefault(
+            protocol, {m: [] for m in self.METRICS}
+        )
+        rec["success_rate"].append(summary.success_rate)
+        rec["avg_delay"].append(summary.avg_delay)
+        rec["forwarding_cost"].append(float(summary.forwarding_ops))
+        rec["total_cost"].append(float(summary.total_cost))
+
+    def metric_table(self, metric: str) -> str:
+        """Render one metric panel as an ASCII table (a paper sub-figure)."""
+        if metric not in self.METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        headers = [self.parameter] + list(self.series)
+        rows = []
+        for i, v in enumerate(self.values):
+            row = [v] + [self.series[p][metric][i] for p in self.series]
+            rows.append(row)
+        return format_table(headers, rows, title=f"{self.trace}: {metric}")
+
+    def final_values(self, metric: str) -> Dict[str, float]:
+        """Metric value at the last sweep point, per protocol."""
+        return {p: series[metric][-1] for p, series in self.series.items()}
+
+    def mean_values(self, metric: str) -> Dict[str, float]:
+        """Metric averaged over the sweep, per protocol (for shape checks)."""
+        return {
+            p: sum(series[metric]) / len(series[metric])
+            for p, series in self.series.items()
+        }
+
+
+def memory_sweep(
+    trace: Trace,
+    profile: TraceProfile,
+    *,
+    memories_kb: Sequence[float] = MEMORY_SWEEP_KB,
+    rate: float = 500.0,
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    seed: int = 0,
+) -> SweepResult:
+    """Fig. 11/12: the four metrics vs per-node memory (paper kB units)."""
+    result = SweepResult(
+        trace=trace.name, parameter="memory_kb", values=tuple(memories_kb)
+    )
+    for name in protocols:
+        for mem in memories_kb:
+            point = run_point(
+                trace, profile, name, memory_kb=mem, rate=rate, seed=seed
+            )
+            result.add(name, point.metrics)
+    return result
+
+
+def rate_sweep(
+    trace: Trace,
+    profile: TraceProfile,
+    *,
+    rates: Sequence[float] = RATE_SWEEP,
+    memory_kb: float = 2000.0,
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    seed: int = 0,
+) -> SweepResult:
+    """Fig. 13/14: the four metrics vs packet generation rate."""
+    result = SweepResult(trace=trace.name, parameter="rate", values=tuple(rates))
+    for name in protocols:
+        for rate in rates:
+            point = run_point(
+                trace, profile, name, memory_kb=memory_kb, rate=rate, seed=seed
+            )
+            result.add(name, point.metrics)
+    return result

@@ -1,0 +1,71 @@
+"""Mobility substrate: trace model, parsers, preprocessing, synthetic models,
+and the Section III-B trace analytics."""
+
+from repro.mobility.trace import Trace, Transit, VisitRecord, days, hours, SECONDS_PER_DAY
+from repro.mobility.parsers import (
+    ApSighting,
+    RawAssociation,
+    parse_dart_log,
+    parse_dnet_log,
+    write_dart_log,
+    write_dnet_log,
+)
+from repro.mobility.preprocess import (
+    PreprocessPipeline,
+    cluster_aps,
+    filter_inactive_nodes,
+    filter_rare_aps,
+    filter_short_visits,
+    merge_adjacent_visits,
+    rebase_time,
+    relabel_compact,
+)
+from repro.mobility.io import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.mobility.synthetic import (
+    BusConfig,
+    BusMobilityModel,
+    CampusConfig,
+    CampusMobilityModel,
+    CampusDeploymentModel,
+    DeploymentConfig,
+    dart_like,
+    deployment_trace,
+    dnet_like,
+)
+from repro.mobility import io, stats
+
+__all__ = [
+    "Trace",
+    "Transit",
+    "VisitRecord",
+    "days",
+    "hours",
+    "SECONDS_PER_DAY",
+    "ApSighting",
+    "RawAssociation",
+    "parse_dart_log",
+    "parse_dnet_log",
+    "write_dart_log",
+    "write_dnet_log",
+    "PreprocessPipeline",
+    "cluster_aps",
+    "filter_inactive_nodes",
+    "filter_rare_aps",
+    "filter_short_visits",
+    "merge_adjacent_visits",
+    "rebase_time",
+    "relabel_compact",
+    "BusConfig",
+    "BusMobilityModel",
+    "CampusConfig",
+    "CampusMobilityModel",
+    "CampusDeploymentModel",
+    "DeploymentConfig",
+    "dart_like",
+    "deployment_trace",
+    "dnet_like",
+    "stats",
+    "io",
+    "dump_trace",
+    "load_trace",
+]

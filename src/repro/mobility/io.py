@@ -1,0 +1,80 @@
+"""Trace serialisation: CSV on disk, round-trippable.
+
+A cleaned trace is four columns — ``node,landmark,start,end`` — plus a
+comment header carrying the trace name.  This is the interchange format for
+feeding *real* mobility data (your own WLAN logs, GPS check-ins, ...) into
+the library, and for caching expensive synthetic generations.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.mobility.trace import Trace, VisitRecord
+
+HEADER = "# repro-trace v1"
+
+
+def dump_trace(trace: Trace, target: Union[str, Path, TextIO]) -> None:
+    """Write ``trace`` as CSV to a path or file-like object."""
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        fh.write(f"{HEADER} name={trace.name}\n")
+        fh.write("node,landmark,start,end\n")
+        for r in trace:
+            fh.write(f"{r.node},{r.landmark},{r.start!r},{r.end!r}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialise ``trace`` to a CSV string."""
+    buf = _io.StringIO()
+    dump_trace(trace, buf)
+    return buf.getvalue()
+
+
+def load_trace(source: Union[str, Path, TextIO]) -> Trace:
+    """Read a trace written by :func:`dump_trace`.
+
+    Accepts a path, a file-like object, or (for convenience) a string that
+    *looks like* serialised content (starts with the format header).
+    """
+    if isinstance(source, str) and source.startswith(HEADER):
+        return loads_trace(source)
+    own = isinstance(source, (str, Path))
+    fh: TextIO = open(source, "r") if own else source  # type: ignore[arg-type]
+    try:
+        return loads_trace(fh.read())
+    finally:
+        if own:
+            fh.close()
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse serialised trace content."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(HEADER):
+        raise ValueError(f"not a repro trace file (missing '{HEADER}' header)")
+    name = "trace"
+    if "name=" in lines[0]:
+        name = lines[0].split("name=", 1)[1].strip()
+    records: List[VisitRecord] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#") or line.startswith("node,"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 4:
+            raise ValueError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+        node, landmark, start, end = parts
+        records.append(
+            VisitRecord(
+                start=float(start), end=float(end), node=int(node), landmark=int(landmark)
+            )
+        )
+    return Trace(records, name=name)

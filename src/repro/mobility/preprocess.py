@@ -1,0 +1,262 @@
+"""Trace preprocessing, mirroring Section III-B.1 of the paper.
+
+For the DART trace the paper:
+
+* regards each building as a landmark,
+* merges neighbouring records referring to the same node and landmark,
+* removes short connections (< 200 s),
+* removes nodes with few records (< 500).
+
+For the DNET trace it additionally:
+
+* removes APs that did not appear frequently (< 50 sightings),
+* maps APs within 1.5 km of each other onto one landmark.
+
+Each of those steps is a standalone function here, composed by
+:class:`PreprocessPipeline`; the synthetic generators emit *raw* logs so the
+full pipeline is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.parsers import ApSighting, RawAssociation
+from repro.mobility.trace import Trace, VisitRecord
+from repro.utils.validation import require_non_negative, require_positive
+
+
+def merge_adjacent_visits(
+    records: Iterable[VisitRecord], max_gap: float = 0.0
+) -> List[VisitRecord]:
+    """Merge consecutive records of the same node at the same landmark.
+
+    Two visits merge when the second starts within ``max_gap`` seconds of the
+    first ending (the paper "merged neighbouring records referring to the
+    same node and the same landmark").  Overlapping records always merge.
+    """
+    require_non_negative("max_gap", max_gap)
+    by_node: Dict[int, List[VisitRecord]] = {}
+    for rec in sorted(records):
+        by_node.setdefault(rec.node, []).append(rec)
+
+    out: List[VisitRecord] = []
+    for node, visits in by_node.items():
+        merged: List[VisitRecord] = []
+        for rec in visits:
+            if (
+                merged
+                and merged[-1].landmark == rec.landmark
+                and rec.start - merged[-1].end <= max_gap
+            ):
+                prev = merged.pop()
+                merged.append(
+                    VisitRecord(
+                        start=prev.start,
+                        end=max(prev.end, rec.end),
+                        node=node,
+                        landmark=rec.landmark,
+                    )
+                )
+            else:
+                merged.append(rec)
+        out.extend(merged)
+    return sorted(out)
+
+
+def filter_short_visits(
+    records: Iterable[VisitRecord], min_duration: float = 200.0
+) -> List[VisitRecord]:
+    """Drop visits shorter than ``min_duration`` seconds (paper: 200 s)."""
+    require_non_negative("min_duration", min_duration)
+    return [r for r in records if r.duration >= min_duration]
+
+
+def filter_inactive_nodes(
+    records: Iterable[VisitRecord], min_records: int = 500
+) -> List[VisitRecord]:
+    """Drop nodes contributing fewer than ``min_records`` visits (paper: 500)."""
+    require_non_negative("min_records", min_records)
+    recs = list(records)
+    counts = Counter(r.node for r in recs)
+    keep = {n for n, c in counts.items() if c >= min_records}
+    return [r for r in recs if r.node in keep]
+
+
+def filter_unpopular_landmarks(
+    records: Iterable[VisitRecord], min_visits: int = 0
+) -> List[VisitRecord]:
+    """Drop landmarks with fewer than ``min_visits`` total visits.
+
+    Landmarks are *popular places* by construction (Section IV-A selects
+    them from the most-visited candidates); a place that is almost never
+    visited would not be provisioned with a central station, so its visits
+    are removed from the trace rather than promoted to a subarea.
+    """
+    require_non_negative("min_visits", min_visits)
+    recs = list(records)
+    counts = Counter(r.landmark for r in recs)
+    keep = {l for l, c in counts.items() if c >= min_visits}
+    return [r for r in recs if r.landmark in keep]
+
+
+def filter_rare_aps(
+    sightings: Iterable[ApSighting], min_count: int = 50
+) -> List[ApSighting]:
+    """Drop APs with fewer than ``min_count`` sightings (paper: 50)."""
+    require_non_negative("min_count", min_count)
+    sights = list(sightings)
+    counts = Counter(s.ap for s in sights)
+    keep = {ap for ap, c in counts.items() if c >= min_count}
+    return [s for s in sights if s.ap in keep]
+
+
+def cluster_aps(
+    ap_coords: Dict[str, Tuple[float, float]],
+    radius_km: float = 1.5,
+    *,
+    weights: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Greedy distance-based clustering of APs into landmarks.
+
+    APs are processed in decreasing weight (sighting count) order; each AP
+    joins the first existing cluster whose *seed* lies within ``radius_km``,
+    otherwise it seeds a new cluster.  This mirrors the paper's "mapped APs
+    that are within a certain distance (1.5 km) into one landmark".
+
+    Coordinates are (lat, lon) in degrees; distances use an equirectangular
+    approximation, which is accurate at city scale.
+
+    Returns
+    -------
+    dict mapping AP name -> landmark id (0-based, dense).
+    """
+    require_positive("radius_km", radius_km)
+    if not ap_coords:
+        return {}
+    names = list(ap_coords)
+    if weights:
+        names.sort(key=lambda a: (-weights.get(a, 0), a))
+    else:
+        names.sort()
+
+    lat = np.radians(np.array([ap_coords[a][0] for a in names]))
+    lon = np.radians(np.array([ap_coords[a][1] for a in names]))
+    earth_km = 6371.0
+
+    seeds: List[int] = []  # indices into names
+    assignment: Dict[str, int] = {}
+    for i, name in enumerate(names):
+        assigned = None
+        for ci, seed_idx in enumerate(seeds):
+            dlat = lat[i] - lat[seed_idx]
+            dlon = (lon[i] - lon[seed_idx]) * np.cos(0.5 * (lat[i] + lat[seed_idx]))
+            dist = earth_km * float(np.hypot(dlat, dlon))
+            if dist <= radius_km:
+                assigned = ci
+                break
+        if assigned is None:
+            seeds.append(i)
+            assigned = len(seeds) - 1
+        assignment[name] = assigned
+    return assignment
+
+
+def relabel_compact(records: Iterable[VisitRecord]) -> Tuple[List[VisitRecord], Dict[int, int], Dict[int, int]]:
+    """Relabel node and landmark ids to dense 0..N-1 ranges.
+
+    Returns ``(records, node_map, landmark_map)`` where the maps go from the
+    *original* id to the compact id.
+    """
+    recs = sorted(records)
+    node_ids = sorted({r.node for r in recs})
+    lm_ids = sorted({r.landmark for r in recs})
+    node_map = {orig: i for i, orig in enumerate(node_ids)}
+    lm_map = {orig: i for i, orig in enumerate(lm_ids)}
+    out = [
+        VisitRecord(
+            start=r.start, end=r.end, node=node_map[r.node], landmark=lm_map[r.landmark]
+        )
+        for r in recs
+    ]
+    return out, node_map, lm_map
+
+
+def rebase_time(records: Iterable[VisitRecord]) -> List[VisitRecord]:
+    """Shift timestamps so the earliest visit starts at t=0."""
+    recs = sorted(records)
+    if not recs:
+        return []
+    t0 = recs[0].start
+    return [
+        VisitRecord(start=r.start - t0, end=r.end - t0, node=r.node, landmark=r.landmark)
+        for r in recs
+    ]
+
+
+@dataclass
+class PreprocessPipeline:
+    """The full DART/DNET cleaning pipeline with the paper's thresholds.
+
+    Parameters mirror Section III-B.1; pass ``min_records=0`` etc. to disable
+    individual stages.
+    """
+
+    merge_gap: float = 60.0
+    min_visit_duration: float = 200.0
+    min_node_records: int = 500
+    min_ap_count: int = 50
+    #: landmark-popularity floor (Section IV-A: landmarks are popular places)
+    min_landmark_visits: int = 0
+    ap_cluster_radius_km: float = 1.5
+    compact_ids: bool = True
+    rebase: bool = True
+    #: populated by :meth:`run_dnet` with the AP -> landmark assignment
+    ap_to_landmark: Dict[str, int] = field(default_factory=dict)
+
+    def run_visits(self, records: Iterable[VisitRecord], name: str = "trace") -> Trace:
+        """Clean landmark-level visit records (DART path)."""
+        recs = merge_adjacent_visits(records, max_gap=self.merge_gap)
+        recs = filter_short_visits(recs, min_duration=self.min_visit_duration)
+        recs = filter_unpopular_landmarks(recs, min_visits=self.min_landmark_visits)
+        recs = filter_inactive_nodes(recs, min_records=self.min_node_records)
+        # A second merge pass: dropping short interleaved visits can make two
+        # same-landmark records adjacent again.
+        recs = merge_adjacent_visits(recs, max_gap=self.merge_gap)
+        if self.compact_ids:
+            recs, _, _ = relabel_compact(recs)
+        if self.rebase:
+            recs = rebase_time(recs)
+        return Trace(recs, name=name)
+
+    def run_dart(self, associations: Sequence[RawAssociation], name: str = "DART") -> Trace:
+        """Clean a DART-style association log (each AP name = a building)."""
+        buildings = sorted({a.ap for a in associations})
+        ap_to_landmark = {b: i for i, b in enumerate(buildings)}
+        self.ap_to_landmark = ap_to_landmark
+        visits = [
+            VisitRecord(start=a.start, end=a.end, node=a.node, landmark=ap_to_landmark[a.ap])
+            for a in associations
+        ]
+        return self.run_visits(visits, name=name)
+
+    def run_dnet(self, sightings: Sequence[ApSighting], name: str = "DNET") -> Trace:
+        """Clean a DNET-style sighting log: rare-AP filter + AP clustering."""
+        sights = filter_rare_aps(sightings, min_count=self.min_ap_count)
+        counts = Counter(s.ap for s in sights)
+        coords = {s.ap: (s.lat, s.lon) for s in sights}
+        ap_to_landmark = cluster_aps(
+            coords, radius_km=self.ap_cluster_radius_km, weights=dict(counts)
+        )
+        self.ap_to_landmark = ap_to_landmark
+        visits = [
+            VisitRecord(
+                start=s.start, end=s.end, node=s.node, landmark=ap_to_landmark[s.ap]
+            )
+            for s in sights
+        ]
+        return self.run_visits(visits, name=name)

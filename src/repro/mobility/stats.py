@@ -1,0 +1,235 @@
+"""Trace analytics reproducing the paper's Section III-B measurements.
+
+Covers Table I (trace characteristics), Fig. 2 (landmark visiting
+distributions, observation O1), Fig. 3 (ordered transit-link bandwidths and
+matching-link symmetry, O2/O3) and Fig. 4 (per-time-unit bandwidth of the top
+links, O4).
+
+All heavy counting is vectorised with NumPy: visits and transits are turned
+into index arrays once and aggregated with ``np.add.at`` / ``bincount``
+rather than Python-level loops (see the HPC guide notes in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.trace import SECONDS_PER_DAY, Trace
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Table I row: basic characteristics of a mobility trace."""
+
+    name: str
+    n_nodes: int
+    n_landmarks: int
+    duration_days: float
+    n_records: int
+    n_transits: int
+
+    def as_row(self) -> Tuple:
+        return (
+            self.name,
+            self.n_nodes,
+            self.n_landmarks,
+            round(self.duration_days, 1),
+            self.n_records,
+            self.n_transits,
+        )
+
+
+def trace_summary(trace: Trace) -> TraceSummary:
+    """Summarise a trace (Table I)."""
+    return TraceSummary(
+        name=trace.name,
+        n_nodes=trace.n_nodes,
+        n_landmarks=trace.n_landmarks,
+        duration_days=trace.duration / SECONDS_PER_DAY,
+        n_records=len(trace),
+        n_transits=len(trace.transits()),
+    )
+
+
+def _index_maps(trace: Trace) -> Tuple[Dict[int, int], Dict[int, int]]:
+    node_idx = {n: i for i, n in enumerate(trace.nodes)}
+    lm_idx = {l: i for i, l in enumerate(trace.landmarks)}
+    return node_idx, lm_idx
+
+
+def visit_count_matrix(trace: Trace) -> np.ndarray:
+    """Return an ``[n_nodes, n_landmarks]`` matrix of visit counts."""
+    node_idx, lm_idx = _index_maps(trace)
+    mat = np.zeros((trace.n_nodes, trace.n_landmarks), dtype=np.int64)
+    if len(trace) == 0:
+        return mat
+    rows = np.fromiter((node_idx[r.node] for r in trace), dtype=np.int64, count=len(trace))
+    cols = np.fromiter(
+        (lm_idx[r.landmark] for r in trace), dtype=np.int64, count=len(trace)
+    )
+    np.add.at(mat, (rows, cols), 1)
+    return mat
+
+
+def visit_distribution(
+    trace: Trace, top: int = 5
+) -> List[Tuple[int, np.ndarray]]:
+    """Fig. 2: per-node visit counts for the ``top`` most-visited landmarks.
+
+    Returns a list of ``(landmark_id, counts)`` where ``counts`` is the
+    per-node visit count vector sorted in decreasing order — the shape
+    plotted in Fig. 2.  O1 holds when each vector has a short steep head and
+    a long near-zero tail.
+    """
+    require_positive("top", top)
+    mat = visit_count_matrix(trace)
+    totals = mat.sum(axis=0)
+    order = np.argsort(-totals)[:top]
+    out = []
+    for col in order:
+        counts = np.sort(mat[:, col])[::-1]
+        out.append((trace.landmarks[int(col)], counts))
+    return out
+
+
+def skewness_ratio(counts: np.ndarray, frequent_quantile: float = 0.9) -> float:
+    """Fraction of total visits contributed by the top (1-q) of nodes.
+
+    A direct quantification of O1: with q=0.9, the top 10 % of visitors of a
+    landmark should contribute the bulk of its visits.
+    """
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    k = max(1, int(round((1.0 - frequent_quantile) * counts.size)))
+    head = np.sort(counts)[::-1][:k].sum()
+    return float(head) / float(total)
+
+
+def transit_count_matrix(trace: Trace) -> np.ndarray:
+    """Return an ``[L, L]`` matrix of transit counts between landmarks."""
+    _, lm_idx = _index_maps(trace)
+    mat = np.zeros((trace.n_landmarks, trace.n_landmarks), dtype=np.int64)
+    transits = trace.transits()
+    if not transits:
+        return mat
+    src = np.fromiter((lm_idx[t.src] for t in transits), dtype=np.int64, count=len(transits))
+    dst = np.fromiter((lm_idx[t.dst] for t in transits), dtype=np.int64, count=len(transits))
+    np.add.at(mat, (src, dst), 1)
+    return mat
+
+
+def transit_bandwidth_matrix(trace: Trace, time_unit: float) -> np.ndarray:
+    """Average transits per ``time_unit`` seconds on every directed link."""
+    require_positive("time_unit", time_unit)
+    n_units = max(1.0, trace.duration / time_unit)
+    return transit_count_matrix(trace) / n_units
+
+
+@dataclass(frozen=True)
+class LinkBandwidth:
+    """A directed transit link with its average bandwidth and the matching
+    (reverse-direction) link's bandwidth — the pairing plotted in Fig. 3."""
+
+    src: int
+    dst: int
+    bandwidth: float
+    matching_bandwidth: float
+
+    @property
+    def asymmetry(self) -> float:
+        """|b_ij - b_ji| / max(b_ij, b_ji); 0 means perfectly symmetric."""
+        hi = max(self.bandwidth, self.matching_bandwidth)
+        if hi == 0:
+            return 0.0
+        return abs(self.bandwidth - self.matching_bandwidth) / hi
+
+
+def ordered_link_bandwidths(trace: Trace, time_unit: float) -> List[LinkBandwidth]:
+    """Fig. 3: links with nonzero bandwidth, sorted by decreasing bandwidth.
+
+    Each entry carries its matching link's bandwidth so O3 (symmetry) can be
+    checked directly.  Only one of each matching pair is listed (the one with
+    the larger bandwidth), as the paper plots matching links with the same
+    sequence number.
+    """
+    bw = transit_bandwidth_matrix(trace, time_unit)
+    lms = trace.landmarks
+    seen = set()
+    links: List[LinkBandwidth] = []
+    n = len(lms)
+    for i in range(n):
+        for j in range(n):
+            if i == j or (j, i) in seen or (i, j) in seen:
+                continue
+            b_ij, b_ji = float(bw[i, j]), float(bw[j, i])
+            if b_ij == 0 and b_ji == 0:
+                continue
+            seen.add((i, j))
+            if b_ij >= b_ji:
+                links.append(LinkBandwidth(lms[i], lms[j], b_ij, b_ji))
+            else:
+                links.append(LinkBandwidth(lms[j], lms[i], b_ji, b_ij))
+    links.sort(key=lambda l: -l.bandwidth)
+    return links
+
+
+def bandwidth_concentration(trace: Trace, time_unit: float, top_fraction: float = 0.2) -> float:
+    """O2 quantified: share of total bandwidth on the top ``top_fraction`` links."""
+    links = ordered_link_bandwidths(trace, time_unit)
+    if not links:
+        return 0.0
+    total = sum(l.bandwidth + l.matching_bandwidth for l in links)
+    k = max(1, int(round(top_fraction * len(links))))
+    head = sum(l.bandwidth + l.matching_bandwidth for l in links[:k])
+    return head / total if total else 0.0
+
+
+def bandwidth_over_time(
+    trace: Trace,
+    time_unit: float,
+    links: Sequence[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig. 4: per-time-unit transit counts for the given directed links.
+
+    Returns ``(unit_starts_days, series)`` where ``series[k, u]`` is the
+    number of transits on ``links[k]`` during time unit ``u``.
+    """
+    require_positive("time_unit", time_unit)
+    transits = trace.transits()
+    t0 = trace.start_time
+    n_units = max(1, int(np.ceil(trace.duration / time_unit)))
+    series = np.zeros((len(links), n_units), dtype=np.int64)
+    link_index = {pair: k for k, pair in enumerate(links)}
+    for tr in transits:
+        k = link_index.get((tr.src, tr.dst))
+        if k is None:
+            continue
+        u = int((tr.arrive - t0) // time_unit)
+        if 0 <= u < n_units:
+            series[k, u] += 1
+    unit_starts = (t0 + np.arange(n_units) * time_unit - t0) / SECONDS_PER_DAY
+    return unit_starts, series
+
+
+def top_links(trace: Trace, time_unit: float, k: int = 3) -> List[Tuple[int, int]]:
+    """The ``k`` highest-bandwidth directed links (for Fig. 4's selection)."""
+    ordered = ordered_link_bandwidths(trace, time_unit)
+    return [(l.src, l.dst) for l in ordered[:k]]
+
+
+def bandwidth_stability(series: np.ndarray) -> np.ndarray:
+    """O4 quantified: per-link coefficient of variation of the Fig. 4 series.
+
+    Lower is more stable; the paper argues a single time unit's measurement
+    reflects the long-run bandwidth, i.e. the CV is small outside holidays.
+    """
+    means = series.mean(axis=1)
+    stds = series.std(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cv = np.where(means > 0, stds / means, 0.0)
+    return cv

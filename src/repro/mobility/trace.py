@@ -1,0 +1,199 @@
+"""Trace data model: landmark visit records and node transits.
+
+A DTN mobility trace, after preprocessing, is a sequence of *visit records*:
+node ``n`` was associated with landmark ``l`` from ``start`` to ``end``.  All
+routing machinery in this library (DTN-FLOW and the baselines) consumes
+traces in this form, mirroring how the paper preprocessed the DART and DNET
+datasets (Section III-B.1).
+
+Two derived notions:
+
+* a **transit** is a movement of a node from one landmark to the next
+  (consecutive visits of the same node at different landmarks);
+* a **sojourn** is the time a node stays connected at one landmark
+  (``end - start`` of a visit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class VisitRecord:
+    """One node↔landmark association interval.
+
+    Ordering is by ``(start, end, node, landmark)`` so that a sorted list of
+    records replays the trace in time order.
+    """
+
+    start: float
+    end: float
+    node: int
+    landmark: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"visit ends before it starts: node={self.node} "
+                f"landmark={self.landmark} [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Transit:
+    """A node's movement between two consecutive landmark visits."""
+
+    node: int
+    src: int
+    dst: int
+    depart: float  # time the node left ``src`` (end of previous visit)
+    arrive: float  # time the node connected to ``dst``
+
+    @property
+    def travel_time(self) -> float:
+        return self.arrive - self.depart
+
+
+class Trace:
+    """An immutable, time-sorted collection of :class:`VisitRecord`.
+
+    Parameters
+    ----------
+    records:
+        Visit records in any order; they are sorted on construction.
+    name:
+        Human-readable label ("DART-like", "DNET-like", ...).
+
+    Notes
+    -----
+    Node and landmark identifiers are arbitrary non-negative ints; use
+    :meth:`n_nodes` / :meth:`n_landmarks` for the count of *distinct* ids and
+    :func:`repro.mobility.preprocess.relabel_compact` to compact them.
+    """
+
+    def __init__(self, records: Iterable[VisitRecord], name: str = "trace") -> None:
+        self._records: List[VisitRecord] = sorted(records)
+        self.name = name
+        self._nodes = tuple(sorted({r.node for r in self._records}))
+        self._landmarks = tuple(sorted({r.landmark for r in self._records}))
+        self._by_node: Dict[int, List[VisitRecord]] = {}
+        for rec in self._records:
+            self._by_node.setdefault(rec.node, []).append(rec)
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[VisitRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> VisitRecord:
+        return self._records[idx]
+
+    # -- structure ----------------------------------------------------------------
+    @property
+    def records(self) -> Sequence[VisitRecord]:
+        return tuple(self._records)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    @property
+    def landmarks(self) -> Tuple[int, ...]:
+        return self._landmarks
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_landmarks(self) -> int:
+        return len(self._landmarks)
+
+    @property
+    def start_time(self) -> float:
+        if not self._records:
+            return 0.0
+        return self._records[0].start
+
+    @property
+    def end_time(self) -> float:
+        if not self._records:
+            return 0.0
+        return max(r.end for r in self._records)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def visits_of(self, node: int) -> Sequence[VisitRecord]:
+        """All visits of ``node`` in time order (empty if unknown node)."""
+        return tuple(self._by_node.get(node, ()))
+
+    def visit_sequence(self, node: int) -> List[int]:
+        """The landmark-id sequence visited by ``node`` (Markov input)."""
+        return [r.landmark for r in self._by_node.get(node, ())]
+
+    # -- derived quantities ---------------------------------------------------------
+    def transits(self) -> List[Transit]:
+        """All landmark-to-landmark transits, over all nodes, in node order.
+
+        Consecutive visits at the *same* landmark do not form a transit (the
+        preprocessing pipeline merges them, but a raw trace may still contain
+        them; they are skipped here to keep the definition robust).
+        """
+        out: List[Transit] = []
+        for node, visits in self._by_node.items():
+            for prev, cur in zip(visits, visits[1:]):
+                if prev.landmark == cur.landmark:
+                    continue
+                out.append(
+                    Transit(
+                        node=node,
+                        src=prev.landmark,
+                        dst=cur.landmark,
+                        depart=prev.end,
+                        arrive=cur.start,
+                    )
+                )
+        return out
+
+    def split_at(self, t: float) -> Tuple["Trace", "Trace"]:
+        """Split into (records starting before ``t``, records starting at/after).
+
+        Used to carve out the warm-up prefix (the paper uses the first 1/4 of
+        each trace to initialise routing tables, Section V-A.1).
+        """
+        before = [r for r in self._records if r.start < t]
+        after = [r for r in self._records if r.start >= t]
+        return (
+            Trace(before, name=f"{self.name}[:{t:g}]"),
+            Trace(after, name=f"{self.name}[{t:g}:]"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(name={self.name!r}, records={len(self)}, "
+            f"nodes={self.n_nodes}, landmarks={self.n_landmarks}, "
+            f"span=[{self.start_time:g}, {self.end_time:g}])"
+        )
+
+
+SECONDS_PER_DAY = 86400.0
+
+
+def days(x: float) -> float:
+    """Convert days to seconds (trace timestamps are in seconds)."""
+    return x * SECONDS_PER_DAY
+
+
+def hours(x: float) -> float:
+    """Convert hours to seconds."""
+    return x * 3600.0

@@ -1,0 +1,34 @@
+"""Discrete-event DTN simulator: engine, entities, packets, buffers, metrics."""
+
+from repro.sim.buffers import PacketBuffer
+from repro.sim.engine import RoutingProtocol, SimConfig, Simulation, World, run_simulation
+from repro.sim.entities import LandmarkStation, MobileNode
+from repro.sim.messages import MessageSegmenter, MessageStatus
+from repro.sim.metrics import MetricsCollector, MetricsSummary
+from repro.sim.packets import (
+    DEFAULT_PACKET_SIZE,
+    GenerationEvent,
+    Packet,
+    PacketFactory,
+    generate_workload,
+)
+
+__all__ = [
+    "PacketBuffer",
+    "RoutingProtocol",
+    "SimConfig",
+    "Simulation",
+    "World",
+    "run_simulation",
+    "LandmarkStation",
+    "MobileNode",
+    "MessageSegmenter",
+    "MessageStatus",
+    "MetricsCollector",
+    "MetricsSummary",
+    "DEFAULT_PACKET_SIZE",
+    "GenerationEvent",
+    "Packet",
+    "PacketFactory",
+    "generate_workload",
+]

@@ -1,0 +1,98 @@
+"""Bounded packet buffers.
+
+Mobile nodes have limited memory (the Section V experiments sweep it from
+1200 kB to 3000 kB); landmark central stations are modelled with unbounded
+storage ("the memory of the landmark was not limited").
+
+The buffer enforces the capacity invariant at every mutation — a transfer
+that would overflow is refused and the packet stays with its current holder,
+which is how limited memory throttles throughput in the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.packets import Packet
+from repro.utils.validation import require_positive
+
+
+class PacketBuffer:
+    """A capacity-limited packet store keyed by packet id.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum total packet bytes held; ``math.inf`` for landmark stations.
+    """
+
+    def __init__(self, capacity_bytes: float = math.inf) -> None:
+        if capacity_bytes != math.inf:
+            require_positive("capacity_bytes", capacity_bytes)
+        self.capacity_bytes = capacity_bytes
+        self._packets: Dict[int, Packet] = {}
+        self._used = 0
+
+    # -- capacity --------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self._used
+
+    def can_accept(self, packet: Packet) -> bool:
+        return packet.size <= self.free_bytes and packet.pid not in self._packets
+
+    # -- mutation ---------------------------------------------------------------
+    def add(self, packet: Packet) -> bool:
+        """Insert ``packet``; returns False (and leaves state unchanged) when
+        it does not fit or is already present."""
+        if not self.can_accept(packet):
+            return False
+        self._packets[packet.pid] = packet
+        self._used += packet.size
+        return True
+
+    def remove(self, pid: int) -> Optional[Packet]:
+        """Remove and return the packet with id ``pid`` (None if absent)."""
+        p = self._packets.pop(pid, None)
+        if p is not None:
+            self._used -= p.size
+        return p
+
+    def pop_expired(self, now: float) -> List[Packet]:
+        """Remove and return all packets past their deadline at ``now``."""
+        dead = [p for p in self._packets.values() if p.expired(now)]
+        for p in dead:
+            self.remove(p.pid)
+        return dead
+
+    def clear(self) -> List[Packet]:
+        """Remove and return everything."""
+        out = list(self._packets.values())
+        self._packets.clear()
+        self._used = 0
+        return out
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._packets
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(list(self._packets.values()))
+
+    def get(self, pid: int) -> Optional[Packet]:
+        return self._packets.get(pid)
+
+    def packets(self) -> List[Packet]:
+        """Stable snapshot list (safe to mutate the buffer while iterating)."""
+        return list(self._packets.values())
+
+    def packets_for(self, dst: int) -> List[Packet]:
+        return [p for p in self._packets.values() if p.dst == dst]

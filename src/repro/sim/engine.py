@@ -1,0 +1,450 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulation` replays a mobility :class:`~repro.mobility.trace.Trace`
+as a time-ordered stream of events — visit starts, visit ends and packet
+births — and dispatches them to a :class:`RoutingProtocol`.  The engine owns
+everything protocol-independent:
+
+* entity lifecycle (who is connected to which landmark when);
+* packet generation (Poisson workload per landmark, Section V-A.1);
+* TTL expiry and buffer-capacity enforcement;
+* automatic delivery when a carrier connects to a packet's destination
+  landmark;
+* metric accounting (forwarding ops, maintenance ops, delays).
+
+Protocols only decide *which packets move to whom* through the world's
+transfer helpers, so DTN-FLOW and every baseline are charged identically.
+
+The first ``warmup_fraction`` of the trace generates no packets; protocols
+use it to learn mobility structure (the paper uses the first 1/4 of each
+trace to construct routing tables).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.trace import SECONDS_PER_DAY, Trace, days
+from repro.sim.entities import LandmarkStation, MobileNode
+from repro.sim.metrics import MetricsCollector, MetricsSummary
+from repro.sim.packets import GenerationEvent, Packet, PacketFactory, generate_workload
+from repro.utils.validation import require_in_range, require_positive
+
+
+@dataclass
+class SimConfig:
+    """All knobs of one experiment run (paper defaults, Section V-A.1).
+
+    ``node_memory_kb`` and ``rate_per_landmark_per_day`` are in *paper
+    units*; ``workload_scale`` scales both the packet population and the
+    node memory so scaled-down runs keep the same memory-pressure regime
+    (see EXPERIMENTS.md).
+    """
+
+    node_memory_kb: float = 2000.0
+    packet_size: int = 1024
+    ttl: float = days(20.0)
+    rate_per_landmark_per_day: float = 500.0
+    workload_scale: float = 1.0
+    #: separate scale for node memory; defaults to ``workload_scale``.  The
+    #: paper's experiments run with memory as the binding resource (Sec. V:
+    #: success rises with memory across the whole 1200-3000 kB sweep), so
+    #: scaled-down workloads set this *below* workload_scale to stay in the
+    #: same contention regime - see EXPERIMENTS.md.
+    memory_scale: Optional[float] = None
+    warmup_fraction: float = 0.25
+    time_unit: float = days(3.0)
+    table_entry_unit: int = 10
+    seed: int = 0
+    #: probability that two nodes co-located in a subarea actually come within
+    #: radio range of each other.  Landmark stations cover their whole subarea
+    #: by design (Section III-A.1); peer nodes do not, so node-node contact
+    #: opportunities (used by the baselines) are subsampled.
+    contact_prob: float = 0.35
+    #: node <-> station link rate in bytes/second; ``None`` (default) models
+    #: transfers as instantaneous.  With a finite rate each visit has a
+    #: transfer budget of ``duration * rate`` bytes shared by uploads and
+    #: downloads - the regime where the landmark communication scheduler
+    #: (Section IV-D.5) matters.
+    link_rate_bytes_per_sec: Optional[float] = None
+    #: per-packet TTL jitter fraction (TTL drawn from ttl*[1-j, 1+j]);
+    #: heterogeneous deadlines make the IV-D.5 urgency ordering meaningful
+    ttl_jitter: float = 0.0
+    #: restrict destinations (deployment experiment: everything to the library)
+    destinations: Optional[Sequence[int]] = None
+    #: restrict source landmarks (extension experiments exclude e.g. garages)
+    sources: Optional[Sequence[int]] = None
+    #: stop generating packets this fraction into the trace (1.0 = until end)
+    generation_end_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("node_memory_kb", self.node_memory_kb)
+        require_positive("ttl", self.ttl)
+        require_positive("workload_scale", self.workload_scale)
+        require_in_range("warmup_fraction", self.warmup_fraction, 0.0, 0.95)
+        require_in_range("contact_prob", self.contact_prob, 0.0, 1.0)
+        require_in_range(
+            "generation_end_fraction", self.generation_end_fraction, 0.0, 1.0
+        )
+
+    @property
+    def node_memory_bytes(self) -> float:
+        scale = self.memory_scale if self.memory_scale is not None else self.workload_scale
+        return self.node_memory_kb * 1024.0 * scale
+
+    @property
+    def effective_rate(self) -> float:
+        return self.rate_per_landmark_per_day * self.workload_scale
+
+
+class World:
+    """Mutable simulation state shared between the engine and the protocol."""
+
+    def __init__(self, trace: Trace, config: SimConfig) -> None:
+        self.trace = trace
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.now: float = trace.start_time
+        self.t_end: float = trace.end_time
+        self.metrics = MetricsCollector(
+            table_entry_unit=config.table_entry_unit,
+            experiment_duration=trace.duration,
+        )
+        self.nodes: Dict[int, MobileNode] = {
+            n: MobileNode(n, config.node_memory_bytes) for n in trace.nodes
+        }
+        self.stations: Dict[int, LandmarkStation] = {
+            l: LandmarkStation(l) for l in trace.landmarks
+        }
+        # guards against double-counting deliveries/drops of multi-copy replicas
+        self._delivered_pids: set = set()
+        self._dropped_pids: set = set()
+        # remaining transfer bytes of each node's current visit (only when
+        # the config sets a finite link rate)
+        self._visit_budget: Dict[int, float] = {}
+
+    # -- convenience ------------------------------------------------------------
+    @property
+    def landmarks(self) -> Tuple[int, ...]:
+        return self.trace.landmarks
+
+    def connected_nodes(self, station: LandmarkStation) -> List[MobileNode]:
+        return [self.nodes[n] for n in sorted(station.connected)]
+
+    # -- expiry -----------------------------------------------------------------
+    def drop_expired_in(self, holder) -> None:
+        dead = holder.buffer.pop_expired(self.now)
+        n_real = 0
+        for p in dead:
+            # multi-copy protocols leave replicas behind; a packet only
+            # counts as TTL-lost once, and never when some copy delivered
+            if p.in_flight and p.pid not in self._delivered_pids:
+                p.dropped_at = self.now
+                if p.pid not in self._dropped_pids:
+                    self._dropped_pids.add(p.pid)
+                    n_real += 1
+        if n_real:
+            self.metrics.on_dropped_ttl(n_real)
+
+    # -- link budget ---------------------------------------------------------------
+    def begin_visit_budget(self, node: MobileNode, duration: float) -> None:
+        rate = self.config.link_rate_bytes_per_sec
+        if rate is not None:
+            self._visit_budget[node.nid] = max(0.0, duration) * rate
+
+    def link_budget_remaining(self, node: MobileNode) -> float:
+        """Bytes still transferable this visit (inf when rate-unlimited)."""
+        if self.config.link_rate_bytes_per_sec is None:
+            return math.inf
+        return self._visit_budget.get(node.nid, 0.0)
+
+    def _charge_link(self, node: MobileNode, size: int) -> bool:
+        if self.config.link_rate_bytes_per_sec is None:
+            return True
+        remaining = self._visit_budget.get(node.nid, 0.0)
+        if size > remaining:
+            return False
+        self._visit_budget[node.nid] = remaining - size
+        return True
+
+    # -- transfers (each successful handover = one forwarding operation) ---------
+    def _deliver(self, packet: Packet) -> None:
+        packet.delivered_at = self.now
+        if packet.pid not in self._delivered_pids:
+            self._delivered_pids.add(packet.pid)
+            self.metrics.on_delivered(self.now - packet.created, packet.dst)
+
+    def claim_delivery(self, packet: Packet) -> bool:
+        """Mark ``packet`` delivered now; returns False for a replica whose
+        sibling already delivered (the delivery is then not re-counted).
+
+        Protocols with their own delivery paths (e.g. node-destined packets
+        handed over outside the destination-landmark rule) must use this
+        instead of touching the metrics directly.
+        """
+        first = packet.pid not in self._delivered_pids
+        self._deliver(packet)
+        return first
+
+    def node_to_station(
+        self, node: MobileNode, station: LandmarkStation, packet: Packet
+    ) -> bool:
+        """Upload a packet from a connected node to the landmark station.
+
+        Delivers it immediately when the station *is* the destination.
+        Always succeeds (stations are unbounded) unless the node does not
+        actually hold the packet.
+        """
+        if packet.pid not in node.buffer:
+            return False
+        if not self._charge_link(node, packet.size):
+            return False
+        node.buffer.remove(packet.pid)
+        if packet.dst == station.lid:
+            if packet.in_flight:
+                packet.hops += 1
+                self.metrics.on_forward()
+                self._deliver(packet)
+            # an already-delivered replica is simply discarded
+        else:
+            packet.hops += 1
+            self.metrics.on_forward()
+            station.buffer.add(packet)
+        return True
+
+    def station_to_node(
+        self, station: LandmarkStation, node: MobileNode, packet: Packet
+    ) -> bool:
+        """Hand a packet to a connected carrier; fails when its memory is full."""
+        if packet.pid not in station.buffer:
+            return False
+        if not node.buffer.can_accept(packet):
+            return False
+        if not self._charge_link(node, packet.size):
+            return False
+        station.buffer.remove(packet.pid)
+        node.buffer.add(packet)
+        packet.hops += 1
+        self.metrics.on_forward()
+        return True
+
+    def node_to_node(self, src: MobileNode, dst: MobileNode, packet: Packet) -> bool:
+        """Forward a packet between two co-located nodes (baselines only)."""
+        if packet.pid not in src.buffer:
+            return False
+        if not dst.buffer.can_accept(packet):
+            return False
+        src.buffer.remove(packet.pid)
+        dst.buffer.add(packet)
+        packet.hops += 1
+        self.metrics.on_forward()
+        return True
+
+
+class RoutingProtocol:
+    """Base class for every routing strategy under test.
+
+    Subclasses override the hooks they need.  ``uses_contacts`` gates the
+    pairwise node-node contact callbacks (only the node-to-node baselines
+    need them; DTN-FLOW routes exclusively through landmark stations).
+    """
+
+    name = "base"
+    uses_contacts = False
+
+    def setup(self, world: World) -> None:  # pragma: no cover - trivial default
+        """Called once before the event loop starts."""
+
+    def on_visit_start(
+        self, world: World, node: MobileNode, station: LandmarkStation, t: float
+    ) -> None:
+        """Node ``node`` just connected to ``station``."""
+
+    def on_contact(
+        self,
+        world: World,
+        a: MobileNode,
+        b: MobileNode,
+        station: LandmarkStation,
+        t: float,
+    ) -> None:
+        """Nodes ``a`` (arriving) and ``b`` (present) are co-located."""
+
+    def on_visit_end(
+        self, world: World, node: MobileNode, station: LandmarkStation, t: float
+    ) -> None:
+        """Node ``node`` is about to leave ``station``."""
+
+    def on_packet_generated(
+        self, world: World, station: LandmarkStation, packet: Packet, t: float
+    ) -> None:
+        """A fresh packet was placed at its origin landmark station."""
+
+    def finalize(self, world: World) -> None:  # pragma: no cover - trivial default
+        """Called once after the event loop ends."""
+
+
+# event kinds, ordered for same-timestamp ties: ends free state first,
+# then births, then arrivals (an arriving node immediately sees new packets),
+# then probes (observers see the post-arrival state)
+_VISIT_END = 0
+_PACKET_GEN = 1
+_VISIT_START = 2
+_PROBE = 3
+
+
+class Simulation:
+    """Replays a trace against a routing protocol and collects metrics.
+
+    ``probes`` is an optional list of ``(time, callback)`` pairs; each
+    callback receives the :class:`World` when simulation time passes its
+    timestamp — used e.g. to sample routing-table coverage at the paper's
+    ten observation points (Fig. 8).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        protocol: RoutingProtocol,
+        config: SimConfig,
+        probes: Optional[Sequence[Tuple[float, object]]] = None,
+    ) -> None:
+        if trace.n_landmarks < 2:
+            raise ValueError("need at least two landmarks to route between")
+        self.trace = trace
+        self.protocol = protocol
+        self.config = config
+        self.world = World(trace, config)
+        self.factory = PacketFactory(
+            ttl=config.ttl,
+            size=config.packet_size,
+            ttl_jitter=config.ttl_jitter,
+            rng=np.random.default_rng(config.seed + 424243),
+        )
+        self.probes = list(probes or [])
+
+    # -- event assembly -----------------------------------------------------------
+    def _events(self) -> List[Tuple[float, int, int, object]]:
+        events: List[Tuple[float, int, int, object]] = []
+        counter = 0
+        for rec in self.trace:
+            events.append((rec.start, _VISIT_START, counter, rec))
+            counter += 1
+            events.append((rec.end, _VISIT_END, counter, rec))
+            counter += 1
+        warmup_end = self.trace.start_time + self.config.warmup_fraction * self.trace.duration
+        gen_end = self.trace.start_time + self.config.generation_end_fraction * self.trace.duration
+        if gen_end > warmup_end and self.config.effective_rate > 0:
+            gen_rng = np.random.default_rng(self.config.seed + 982451653)
+            sources = (
+                tuple(self.config.sources)
+                if self.config.sources is not None
+                else self.trace.landmarks
+            )
+            for ev in generate_workload(
+                sources,
+                rate_per_landmark_per_day=self.config.effective_rate,
+                start=warmup_end,
+                end=gen_end,
+                rng=gen_rng,
+                destinations=self.config.destinations,
+            ):
+                events.append((ev.time, _PACKET_GEN, counter, ev))
+                counter += 1
+        for probe_t, callback in self.probes:
+            events.append((float(probe_t), _PROBE, counter, callback))
+            counter += 1
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        return events
+
+    # -- handlers ------------------------------------------------------------------
+    def _end_visit(self, node: MobileNode, t: float) -> None:
+        if node.at_landmark is None:
+            return
+        station = self.world.stations[node.at_landmark]
+        self.protocol.on_visit_end(self.world, node, station, t)
+        station.connected.discard(node.nid)
+        node.prev_landmark = node.at_landmark
+        node.at_landmark = None
+        node.last_depart = t
+
+    def _handle_visit_start(self, rec, t: float) -> None:
+        world = self.world
+        node = world.nodes[rec.node]
+        # overlapping records: close the stale visit first
+        if node.at_landmark is not None:
+            if node.at_landmark == rec.landmark:
+                # extension of the current visit
+                node.visit_until = max(node.visit_until, rec.end)
+                return
+            self._end_visit(node, t)
+        station = world.stations[rec.landmark]
+        if node.prev_landmark is not None and node.prev_landmark != rec.landmark:
+            node.n_transits += 1
+        node.at_landmark = rec.landmark
+        node.visit_started = t
+        node.visit_until = rec.end
+        station.connected.add(node.nid)
+        world.begin_visit_budget(node, rec.end - t)
+
+        world.drop_expired_in(node)
+        world.drop_expired_in(station)
+
+        # automatic delivery: the carrier reached a destination landmark
+        for p in node.buffer.packets_for(station.lid):
+            world.node_to_station(node, station, p)
+
+        self.protocol.on_visit_start(world, node, station, t)
+        if self.protocol.uses_contacts:
+            p_contact = self.config.contact_prob
+            for other_id in sorted(station.connected):
+                if other_id == node.nid:
+                    continue
+                if p_contact < 1.0 and world.rng.random() >= p_contact:
+                    continue
+                other = world.nodes[other_id]
+                self.protocol.on_contact(world, node, other, station, t)
+
+    def _handle_visit_end(self, rec, t: float) -> None:
+        node = self.world.nodes[rec.node]
+        # only close the visit this record actually opened
+        if node.at_landmark == rec.landmark and t >= node.visit_until:
+            self.world.drop_expired_in(node)
+            self._end_visit(node, t)
+
+    def _handle_generation(self, ev: GenerationEvent, t: float) -> None:
+        world = self.world
+        station = world.stations[ev.src]
+        packet = self.factory.create(src=ev.src, dst=ev.dst, now=t)
+        world.metrics.on_generated()
+        station.buffer.add(packet)
+        world.drop_expired_in(station)
+        self.protocol.on_packet_generated(world, station, packet, t)
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self) -> MetricsSummary:
+        self.protocol.setup(self.world)
+        for t, kind, _, payload in self._events():
+            self.world.now = t
+            if kind == _VISIT_START:
+                self._handle_visit_start(payload, t)
+            elif kind == _VISIT_END:
+                self._handle_visit_end(payload, t)
+            elif kind == _PACKET_GEN:
+                self._handle_generation(payload, t)
+            else:
+                payload(self.world)
+        self.world.now = self.trace.end_time
+        self.protocol.finalize(self.world)
+        return self.world.metrics.summary(self.protocol.name, self.trace.name)
+
+
+def run_simulation(
+    trace: Trace, protocol: RoutingProtocol, config: Optional[SimConfig] = None
+) -> MetricsSummary:
+    """One-call convenience wrapper around :class:`Simulation`."""
+    return Simulation(trace, protocol, config or SimConfig()).run()

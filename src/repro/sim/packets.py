@@ -1,0 +1,181 @@
+"""Packets and workload generation.
+
+Packets follow the paper's network model (Section III-A): fixed size
+(default 1 kB), a destination *landmark* (subarea), a TTL after which they
+are dropped, and single-copy forwarding.  ``meta`` is protocol scratch space
+(DTN-FLOW stores the intended next-hop landmark and the expected overall
+delay recorded at hand-off; baselines store nothing).
+
+:func:`generate_workload` reproduces the experiment workload of Section V-A:
+packets generated at a configurable rate per landmark per day, with uniformly
+random destination landmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.trace import SECONDS_PER_DAY
+from repro.utils.validation import require_non_negative, require_positive
+
+DEFAULT_PACKET_SIZE = 1024  # bytes (paper: 1 kB)
+
+
+@dataclass
+class Packet:
+    """A single-copy data packet routed landmark-to-landmark."""
+
+    pid: int
+    src: int
+    dst: int
+    created: float
+    ttl: float
+    size: int = DEFAULT_PACKET_SIZE
+    #: number of forwarding operations this packet has undergone
+    hops: int = 0
+    #: landmark ids the packet has been held at, for loop detection (IV-E.2)
+    visited: List[int] = field(default_factory=list)
+    #: protocol scratch space
+    meta: Dict[str, object] = field(default_factory=dict)
+    delivered_at: Optional[float] = None
+    dropped_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_positive("ttl", self.ttl)
+        require_positive("size", self.size)
+
+    @property
+    def deadline(self) -> float:
+        return self.created + self.ttl
+
+    def expired(self, now: float) -> bool:
+        return now > self.deadline
+
+    def remaining_ttl(self, now: float) -> float:
+        return self.deadline - now
+
+    @property
+    def in_flight(self) -> bool:
+        return self.delivered_at is None and self.dropped_at is None
+
+    def record_visit(self, landmark: int) -> bool:
+        """Stamp a landmark on the packet; returns True if this closes a
+        routing *cycle*.
+
+        A consecutive re-upload at the same landmark (the prediction-miss
+        recovery path) is not recorded again and never flags a loop; a
+        revisit only counts as a loop when at least two other distinct
+        landmarks were visited in between (a genuine routing cycle, as in
+        Fig. 9, rather than a carrier wandering out and back).
+        """
+        if self.visited and self.visited[-1] == landmark:
+            return False
+        revisit = landmark in self.visited
+        if revisit:
+            first = len(self.visited) - 1 - self.visited[::-1].index(landmark)
+            between = set(self.visited[first + 1 :])
+            self.visited.append(landmark)
+            return len(between - {landmark}) >= 2
+        self.visited.append(landmark)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.pid} {self.src}->{self.dst} "
+            f"t0={self.created:.0f} ttl={self.ttl:.0f} hops={self.hops})"
+        )
+
+
+@dataclass(frozen=True)
+class GenerationEvent:
+    """A scheduled packet birth: at ``time``, at landmark ``src``, to ``dst``."""
+
+    time: float
+    src: int
+    dst: int
+
+
+def generate_workload(
+    landmarks: Sequence[int],
+    *,
+    rate_per_landmark_per_day: float,
+    start: float,
+    end: float,
+    rng: np.random.Generator,
+    destinations: Optional[Sequence[int]] = None,
+) -> List[GenerationEvent]:
+    """Draw packet-generation events for the measurement phase.
+
+    Each landmark generates packets as a Poisson process of the given daily
+    rate; each packet's destination is uniform over the other landmarks
+    (or over ``destinations`` when provided — the deployment experiment
+    targets only the library).
+    """
+    require_non_negative("rate_per_landmark_per_day", rate_per_landmark_per_day)
+    if end < start:
+        raise ValueError(f"end ({end}) before start ({start})")
+    events: List[GenerationEvent] = []
+    span_days = (end - start) / SECONDS_PER_DAY
+    lam = rate_per_landmark_per_day * span_days
+    for src in landmarks:
+        n = int(rng.poisson(lam)) if lam > 0 else 0
+        if n == 0:
+            continue
+        times = rng.uniform(start, end, n)
+        cands = (
+            [d for d in destinations if d != src]
+            if destinations is not None
+            else [l for l in landmarks if l != src]
+        )
+        if not cands:
+            continue
+        picks = rng.integers(0, len(cands), n)
+        events.extend(
+            GenerationEvent(time=float(t), src=src, dst=cands[int(i)])
+            for t, i in zip(times, picks)
+        )
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+class PacketFactory:
+    """Mints packets with unique ids and the experiment's TTL/size.
+
+    ``ttl_jitter`` draws each packet's TTL uniformly from
+    ``ttl * [1 - j, 1 + j]`` — heterogeneous deadlines are what make the
+    landmark scheduler's urgency ordering (IV-D.5) differ from FIFO.
+    """
+
+    def __init__(
+        self,
+        ttl: float,
+        size: int = DEFAULT_PACKET_SIZE,
+        *,
+        ttl_jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        require_positive("ttl", ttl)
+        if not 0.0 <= ttl_jitter < 1.0:
+            raise ValueError(f"ttl_jitter must be in [0, 1), got {ttl_jitter}")
+        self.ttl = float(ttl)
+        self.size = int(size)
+        self.ttl_jitter = float(ttl_jitter)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._next = 0
+
+    def create(self, src: int, dst: int, now: float) -> Packet:
+        ttl = self.ttl
+        if self.ttl_jitter > 0:
+            ttl *= float(self._rng.uniform(1 - self.ttl_jitter, 1 + self.ttl_jitter))
+        p = Packet(
+            pid=self._next, src=src, dst=dst, created=now, ttl=ttl, size=self.size
+        )
+        self._next += 1
+        return p
+
+    @property
+    def n_created(self) -> int:
+        return self._next

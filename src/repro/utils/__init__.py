@@ -1,0 +1,24 @@
+"""Shared utilities: EWMA smoothing, quantile summaries, validation, tables."""
+
+from repro.utils.ewma import Ewma
+from repro.utils.quantiles import five_number_summary, FiveNumberSummary
+from repro.utils.validation import (
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    require_probability,
+)
+from repro.utils.tables import format_table, series_figure, sparkline
+
+__all__ = [
+    "Ewma",
+    "five_number_summary",
+    "FiveNumberSummary",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_probability",
+    "format_table",
+    "series_figure",
+    "sparkline",
+]

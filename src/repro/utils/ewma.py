@@ -1,0 +1,71 @@
+"""Exponentially weighted moving average, as used for transit-link bandwidth.
+
+The paper (Section IV-C.1, Eq. 4) updates the bandwidth of a transit link at
+every time-unit boundary as a convex combination of the previous estimate and
+the number of transits observed during the elapsed time unit::
+
+    b_new = rho * n_t + (1 - rho) * b_old
+
+where ``rho`` is a weight factor in (0, 1].  ``Ewma`` captures exactly this
+update and is reused anywhere the codebase needs a smoothed rate (link
+bandwidth tables, load-balancing in/out rates).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_in_range
+
+
+class Ewma:
+    """A scalar exponentially weighted moving average.
+
+    Parameters
+    ----------
+    rho:
+        Weight given to the *new* observation.  ``rho == 1`` degenerates to
+        "latest sample wins"; small ``rho`` gives a long memory.
+    initial:
+        Value reported before any observation arrives.
+
+    Examples
+    --------
+    >>> e = Ewma(rho=0.5)
+    >>> e.update(4.0)
+    2.0
+    >>> e.update(4.0)
+    3.0
+    >>> e.value
+    3.0
+    """
+
+    __slots__ = ("rho", "_value", "_n")
+
+    def __init__(self, rho: float = 0.5, initial: float = 0.0) -> None:
+        require_in_range("rho", rho, 0.0, 1.0, inclusive_low=False)
+        self.rho = float(rho)
+        self._value = float(initial)
+        self._n = 0
+
+    @property
+    def value(self) -> float:
+        """Current smoothed value."""
+        return self._value
+
+    @property
+    def n_updates(self) -> int:
+        """Number of observations folded in so far."""
+        return self._n
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new value."""
+        self._value = self.rho * float(sample) + (1.0 - self.rho) * self._value
+        self._n += 1
+        return self._value
+
+    def reset(self, value: float = 0.0) -> None:
+        """Forget all history and restart from ``value``."""
+        self._value = float(value)
+        self._n = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ewma(rho={self.rho}, value={self._value:.6g}, n={self._n})"

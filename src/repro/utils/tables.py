@@ -1,0 +1,114 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark that regenerates a paper table/figure prints its rows through
+:func:`format_table` so the output reads like the paper's own tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each cell is stringified with light
+        float formatting (3 significant digits for very small/large values).
+    title:
+        Optional heading printed above the table.
+    """
+    str_rows = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values, *, lo: float = None, hi: float = None) -> str:
+    """Render a numeric series as a one-line ASCII sparkline.
+
+    Values map onto a 10-level character ramp; ``lo``/``hi`` pin the scale
+    (default: the series' own min/max), letting multiple series share one
+    scale for comparison.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else float(lo)
+    hi = max(vals) if hi is None else float(hi)
+    span = hi - lo
+    out = []
+    for v in vals:
+        if span <= 0:
+            idx = len(_SPARK_CHARS) // 2
+        else:
+            frac = min(1.0, max(0.0, (v - lo) / span))
+            idx = int(round(frac * (len(_SPARK_CHARS) - 1)))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def series_figure(
+    series,
+    *,
+    title: str = "",
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render named series as labelled sparklines on a shared scale.
+
+    ``series`` maps label -> sequence of numbers.  The output reads like a
+    miniature multi-line figure::
+
+        DTN-FLOW  [@%#**]  0.848 .. 0.904
+        SimBet    [ .:-=]  0.184 .. 0.721
+    """
+    if not series:
+        return title
+    all_vals = [float(v) for vs in series.values() for v in vs]
+    lo, hi = min(all_vals), max(all_vals)
+    width = max(len(str(k)) for k in series)
+    lines = [title] if title else []
+    for label, vs in series.items():
+        spark = sparkline(vs, lo=lo, hi=hi)
+        first = value_format.format(vs[0])
+        last = value_format.format(vs[-1])
+        lines.append(f"{str(label).ljust(width)}  [{spark}]  {first} .. {last}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early, with messages naming the offending parameter, so that a
+misconfigured experiment fails at construction time rather than deep inside a
+simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive_low: bool = True,
+    inclusive_high: bool = True,
+) -> float:
+    """Return ``value`` if within ``[low, high]`` (bounds optionally open)."""
+    ok_low = value >= low if inclusive_low else value > low
+    ok_high = value <= high if inclusive_high else value < high
+    if not (ok_low and ok_high):
+        lo = "[" if inclusive_low else "("
+        hi = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must be in {lo}{low}, {high}{hi}, got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Return ``value`` if it is a valid probability in ``[0, 1]``."""
+    return require_in_range(name, value, 0.0, 1.0)
+
+
+def require_sorted(name: str, values, *, strict: bool = False) -> None:
+    """Raise ``ValueError`` unless ``values`` is (strictly) non-decreasing."""
+    prev: Optional[float] = None
+    for i, v in enumerate(values):
+        if prev is not None:
+            bad = v <= prev if strict else v < prev
+            if bad:
+                kind = "strictly increasing" if strict else "non-decreasing"
+                raise ValueError(
+                    f"{name} must be {kind}; element {i} = {v!r} after {prev!r}"
+                )
+        prev = v

@@ -1,0 +1,155 @@
+"""Tests for transit-link bandwidth measurement (repro.core.bandwidth)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bandwidth import BackwardReport, BandwidthEstimator, EPSILON_BANDWIDTH
+
+
+def make(unit=100.0, rho=0.5, lid=0):
+    return BandwidthEstimator(lid, unit, rho=rho)
+
+
+class TestTimeUnits:
+    def test_seq_starts_at_zero(self):
+        assert make().seq == 0
+
+    def test_advance_folds_units(self):
+        e = make(unit=100.0)
+        assert e.advance_to(250.0) == 2
+        assert e.seq == 2
+
+    def test_advance_is_monotone(self):
+        e = make(unit=100.0)
+        e.advance_to(150.0)
+        assert e.advance_to(120.0) == 0  # no time travel
+        assert e.seq == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(0, 0.0)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(0, 10.0, rho=0.0)
+
+
+class TestIncomingMeasurement:
+    def test_single_unit_ewma(self):
+        e = make(unit=100.0, rho=0.5)
+        for t in (10, 20, 30):
+            e.record_arrival(1, t)
+        e.advance_to(100.0)
+        # EWMA: 0.5*3 + 0.5*0 = 1.5
+        assert e.incoming_bandwidth(1) == pytest.approx(1.5)
+
+    def test_idle_unit_decays(self):
+        e = make(unit=100.0, rho=0.5)
+        e.record_arrival(1, 10)
+        e.advance_to(100.0)
+        first = e.incoming_bandwidth(1)
+        e.advance_to(200.0)
+        assert e.incoming_bandwidth(1) == pytest.approx(first * 0.5)
+
+    def test_self_arrivals_ignored(self):
+        e = make(lid=5)
+        e.record_arrival(5, 10)
+        e.advance_to(100.0)
+        assert e.incoming_bandwidth(5) == 0.0
+
+    def test_unseen_link_zero(self):
+        assert make().incoming_bandwidth(9) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), max_size=50))
+    def test_bandwidth_nonnegative(self, times):
+        e = make(unit=100.0)
+        for t in sorted(times):
+            e.record_arrival(1, t)
+        e.advance_to(2000.0)
+        assert e.incoming_bandwidth(1) >= 0.0
+
+
+class TestBackwardReports:
+    def test_symmetry_fallback(self):
+        """Without a report, outgoing bandwidth uses O3 symmetry."""
+        e = make(unit=100.0)
+        e.record_arrival(2, 10)
+        e.advance_to(100.0)
+        assert e.outgoing_bandwidth(2) == e.incoming_bandwidth(2)
+
+    def test_make_report_contains_incoming(self):
+        e = make(unit=100.0, lid=0)
+        e.record_arrival(2, 10)
+        e.advance_to(100.0)
+        rep = e.make_backward_report(2)
+        assert rep.observer == 0
+        assert rep.target == 2
+        assert rep.bandwidth == e.incoming_bandwidth(2)
+
+    def test_no_report_for_unknown_neighbor(self):
+        assert make().make_backward_report(7) is None
+
+    def test_apply_report_overrides_symmetry(self):
+        e = make(lid=1)
+        ok = e.apply_backward_report(
+            BackwardReport(observer=2, target=1, seq=3, bandwidth=7.5)
+        )
+        assert ok
+        assert e.outgoing_bandwidth(2) == 7.5
+
+    def test_stale_report_rejected(self):
+        e = make(lid=1)
+        e.apply_backward_report(BackwardReport(observer=2, target=1, seq=3, bandwidth=7.5))
+        assert not e.apply_backward_report(
+            BackwardReport(observer=2, target=1, seq=2, bandwidth=1.0)
+        )
+        assert e.outgoing_bandwidth(2) == 7.5
+
+    def test_misrouted_report_rejected(self):
+        e = make(lid=1)
+        assert not e.apply_backward_report(
+            BackwardReport(observer=2, target=9, seq=3, bandwidth=7.5)
+        )
+
+    def test_report_roundtrip_between_landmarks(self):
+        """L0 measures arrivals from L1; its report teaches L1 its outgoing bw."""
+        l0, l1 = make(lid=0, unit=100.0), make(lid=1, unit=100.0)
+        for t in (10, 20):
+            l0.record_arrival(1, t)
+        l0.advance_to(100.0)
+        rep = l0.make_backward_report(1)
+        assert l1.apply_backward_report(rep)
+        assert l1.outgoing_bandwidth(0) == l0.incoming_bandwidth(1)
+
+
+class TestDelays:
+    def test_delay_inverse_of_bandwidth(self):
+        e = make(unit=100.0)
+        e.record_arrival(1, 10)
+        e.record_arrival(1, 20)
+        e.advance_to(100.0)  # bw = 1.0
+        assert e.expected_link_delay(1) == pytest.approx(100.0)
+
+    def test_unknown_link_huge_delay(self):
+        e = make(unit=100.0)
+        assert e.expected_link_delay(9) == 100.0 / EPSILON_BANDWIDTH
+
+    def test_higher_bandwidth_lower_delay(self):
+        e = make(unit=100.0)
+        for t in (1, 2, 3, 4):
+            e.record_arrival(1, t)
+        e.record_arrival(2, 5)
+        e.advance_to(100.0)
+        assert e.expected_link_delay(1) < e.expected_link_delay(2)
+
+    def test_bandwidth_table(self):
+        e = make(unit=100.0)
+        e.record_arrival(1, 10)
+        e.record_arrival(2, 20)
+        e.advance_to(100.0)
+        table = e.bandwidth_table()
+        assert set(table) == {1, 2}
+
+    def test_known_neighbors_sorted(self):
+        e = make()
+        e.record_arrival(5, 1)
+        e.record_arrival(2, 2)
+        assert e.known_neighbors() == [2, 5]

@@ -1,0 +1,147 @@
+"""Distance-vector convergence validated against networkx shortest paths.
+
+The landmark routing tables implement classic distance-vector over the
+transit-link graph.  Here we build random weighted digraphs, run rounds of
+snapshot exchange until the tables stabilise, and check every landmark's
+delay/next-hop against networkx's Dijkstra — the strongest correctness check
+available for the routing substrate.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.routing_table import RoutingTable
+
+
+def build_tables(graph: nx.DiGraph, hysteresis: float = 1.0):
+    """One RoutingTable per node, initialised with direct links."""
+    tables = {n: RoutingTable(n, switch_hysteresis=hysteresis) for n in graph.nodes}
+    for u, v, data in graph.edges(data=True):
+        tables[u].set_direct_link(v, data["weight"])
+    return tables
+
+
+def exchange_until_stable(tables, graph, max_rounds: int = 50) -> int:
+    """Synchronous DV rounds: every node merges every neighbour's snapshot."""
+    for round_no in range(max_rounds):
+        snaps = {n: t.snapshot(seq=round_no) for n, t in tables.items()}
+        changed = False
+        for u in graph.nodes:
+            before = tables[u].next_hop_map()
+            before_delays = {d: tables[u].delay_to(d) for d in before}
+            for v in graph.successors(u):
+                link = graph[u][v]["weight"]
+                tables[u].merge_snapshot(snaps[v], link_delay=link)
+            after = tables[u].next_hop_map()
+            if after != before or any(
+                tables[u].delay_to(d) != before_delays.get(d) for d in after
+            ):
+                changed = True
+        if not changed:
+            return round_no + 1
+    return max_rounds
+
+
+def random_graph(rng, n, p=0.4):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v, weight=float(rng.uniform(1.0, 20.0)))
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_delays_match_dijkstra(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n=8)
+        tables = build_tables(g)
+        exchange_until_stable(tables, g)
+        sp = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+        for u in g.nodes:
+            for v in g.nodes:
+                if u == v:
+                    continue
+                expected = sp.get(u, {}).get(v, math.inf)
+                got = tables[u].delay_to(v)
+                assert got == pytest.approx(expected), (u, v)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_next_hops_lie_on_shortest_paths(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = random_graph(rng, n=7)
+        tables = build_tables(g)
+        exchange_until_stable(tables, g)
+        sp = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+        for u in g.nodes:
+            for v in g.nodes:
+                if u == v or v not in sp.get(u, {}):
+                    continue
+                hop = tables[u].next_hop(v)
+                assert hop in g.successors(u)
+                # Bellman optimality: d(u,v) = w(u,hop) + d(hop,v)
+                d_hop = 0.0 if hop == v else sp[hop][v]
+                assert g[u][hop]["weight"] + d_hop == pytest.approx(sp[u][v])
+
+    def test_line_graph_converges_in_diameter_rounds(self):
+        g = nx.DiGraph()
+        n = 6
+        for i in range(n - 1):
+            g.add_edge(i, i + 1, weight=1.0)
+            g.add_edge(i + 1, i, weight=1.0)
+        tables = build_tables(g)
+        rounds = exchange_until_stable(tables, g)
+        assert rounds <= n + 1
+        assert tables[0].delay_to(n - 1) == pytest.approx(n - 1)
+
+    def test_disconnected_components_stay_unreachable(self):
+        g = nx.DiGraph()
+        g.add_edge(0, 1, weight=1.0)
+        g.add_edge(1, 0, weight=1.0)
+        g.add_edge(2, 3, weight=1.0)
+        g.add_edge(3, 2, weight=1.0)
+        tables = build_tables(g)
+        exchange_until_stable(tables, g)
+        assert tables[0].delay_to(3) == math.inf
+        assert tables[2].delay_to(1) == math.inf
+
+    def test_hysteresis_tables_stay_within_factor(self):
+        """With switch hysteresis h, converged delays are at most 1/h of
+        the true shortest delays (a marginally-better path may be ignored,
+        but never one that is h-times better)."""
+        rng = np.random.default_rng(7)
+        g = random_graph(rng, n=8)
+        h = 0.7
+        tables = build_tables(g, hysteresis=h)
+        exchange_until_stable(tables, g)
+        sp = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+        for u in g.nodes:
+            for v in g.nodes:
+                if u == v or v not in sp.get(u, {}):
+                    continue
+                got = tables[u].delay_to(v)
+                assert got < math.inf
+                assert got >= sp[u][v] - 1e-9  # never better than optimal
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_graphs_property(seed):
+    """Property over random graphs: DV delays equal Dijkstra everywhere."""
+    rng = np.random.default_rng(seed)
+    g = random_graph(rng, n=int(rng.integers(3, 7)), p=0.5)
+    tables = build_tables(g)
+    exchange_until_stable(tables, g)
+    sp = dict(nx.all_pairs_dijkstra_path_length(g, weight="weight"))
+    for u in g.nodes:
+        for v in g.nodes:
+            if u == v:
+                continue
+            expected = sp.get(u, {}).get(v, math.inf)
+            assert tables[u].delay_to(v) == pytest.approx(expected)

@@ -1,0 +1,180 @@
+"""Tests for trace serialisation, confidence intervals and the CLI."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.confidence import MetricCI, confidence_interval, run_with_confidence
+from repro.eval.config import TraceProfile
+from repro.mobility.io import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.mobility.trace import Trace, VisitRecord, days
+from repro.mobility.synthetic import dart_like
+
+
+def rec(start, end, node, landmark):
+    return VisitRecord(start=start, end=end, node=node, landmark=landmark)
+
+
+class TestTraceIO:
+    def test_roundtrip_string(self):
+        t = Trace([rec(0.5, 1.25, 3, 7), rec(2, 3, 0, 1)], name="my trace")
+        t2 = loads_trace(dumps_trace(t))
+        assert t2.name == "my trace"
+        assert list(t2) == list(t)
+
+    def test_roundtrip_file(self, tmp_path):
+        t = Trace([rec(0, 1, 0, 0)], name="X")
+        path = tmp_path / "trace.csv"
+        dump_trace(t, path)
+        t2 = load_trace(path)
+        assert list(t2) == list(t)
+
+    def test_roundtrip_filelike(self):
+        t = Trace([rec(0, 1, 0, 0)])
+        buf = io.StringIO()
+        dump_trace(t, buf)
+        buf.seek(0)
+        assert list(load_trace(buf)) == list(t)
+
+    def test_load_from_content_string(self):
+        t = Trace([rec(0, 1, 0, 0)])
+        assert list(load_trace(dumps_trace(t))) == list(t)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="repro trace"):
+            loads_trace("node,landmark,start,end\n0,0,0,1\n")
+
+    def test_bad_row_rejected(self):
+        content = "# repro-trace v1 name=x\n0,0,0\n"
+        with pytest.raises(ValueError, match="line 2"):
+            loads_trace(content)
+
+    def test_float_exactness(self):
+        t = Trace([rec(0.1 + 0.2, 1.0 / 3.0 + 1.0, 0, 0)])
+        t2 = loads_trace(dumps_trace(t))
+        assert t2[0].start == t[0].start  # repr() round-trips floats
+
+    def test_synthetic_roundtrip(self, dart_tiny):
+        t2 = loads_trace(dumps_trace(dart_tiny))
+        assert t2.n_nodes == dart_tiny.n_nodes
+        assert t2.n_landmarks == dart_tiny.n_landmarks
+        assert len(t2) == len(dart_tiny)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1e6, allow_nan=False),
+                st.floats(0, 1e3, allow_nan=False),
+                st.integers(0, 50),
+                st.integers(0, 20),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, raw):
+        t = Trace([rec(s, s + d, n, l) for s, d, n, l in raw])
+        assert list(loads_trace(dumps_trace(t))) == list(t)
+
+
+class TestConfidence:
+    def test_single_sample(self):
+        ci = confidence_interval([5.0])
+        assert ci.mean == 5.0 and ci.half_width == 0.0 and ci.n == 1
+
+    def test_symmetric_bounds(self):
+        ci = confidence_interval([1.0, 2.0, 3.0])
+        assert ci.low == pytest.approx(ci.mean - ci.half_width)
+        assert ci.high == pytest.approx(ci.mean + ci.half_width)
+        assert ci.mean == 2.0
+
+    def test_zero_variance(self):
+        ci = confidence_interval([4.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_wider_level_wider_interval(self):
+        data = [1.0, 2.0, 4.0, 8.0]
+        ci95 = confidence_interval(data, level=0.95)
+        ci99 = confidence_interval(data, level=0.99)
+        assert ci99.half_width > ci95.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_known_t_value(self):
+        # n=2: t(0.975, df=1) = 12.706; sem = std/sqrt(2)
+        ci = confidence_interval([0.0, 2.0])
+        sem = np.std([0.0, 2.0], ddof=1) / np.sqrt(2)
+        assert ci.half_width == pytest.approx(12.706 * sem, rel=1e-3)
+
+    def test_run_with_confidence(self, dart_tiny):
+        profile = TraceProfile(
+            name="tiny", build=lambda s: dart_tiny, ttl=days(4.0),
+            time_unit=days(2.0), workload_scale=0.02,
+        )
+        cis = run_with_confidence(
+            dart_tiny, profile, "DTN-FLOW", seeds=(1, 2), rate=150.0
+        )
+        assert set(cis) == {"success_rate", "avg_delay", "forwarding_ops", "total_cost"}
+        sr = cis["success_rate"]
+        assert 0.0 <= sr.mean <= 1.0
+        assert sr.n == 2
+        assert "±" in str(sr)
+
+
+class TestCLI:
+    def _run(self, argv, capsys):
+        from repro.cli import main
+        rc = main(argv)
+        out = capsys.readouterr().out
+        return rc, out
+
+    def test_summary(self, capsys):
+        rc, out = self._run(["summary", "--trace", "dnet", "--top", "3"], capsys)
+        assert rc == 0
+        assert "transit links" in out
+        assert "busiest links:" in out
+
+    def test_run(self, capsys):
+        rc, out = self._run(
+            ["run", "--trace", "dnet", "--protocol", "PROPHET", "--rate", "100"],
+            capsys,
+        )
+        assert rc == 0
+        assert "success rate" in out
+
+    def test_predict(self, capsys):
+        rc, out = self._run(["predict", "--trace", "dnet"], capsys)
+        assert rc == 0
+        assert "mean accuracy" in out
+
+    def test_sweep_custom_values(self, capsys):
+        rc, out = self._run(
+            ["sweep", "rate", "--trace", "dnet", "--values", "100,200",
+             "--protocols", "DTN-FLOW"],
+            capsys,
+        )
+        assert rc == 0
+        assert "success_rate" in out
+        assert "forwarding_cost" in out
+
+    def test_deployment(self, capsys):
+        rc, out = self._run(["deployment", "--days", "4"], capsys)
+        assert rc == 0
+        assert "success rate" in out
+
+    def test_external_trace_file(self, tmp_path, capsys):
+        trace = dart_like("tiny", seed=1)
+        path = tmp_path / "t.csv"
+        dump_trace(trace, path)
+        rc, out = self._run(["summary", "--trace", str(path)], capsys)
+        assert rc == 0
+        assert "DART-like[tiny]" in out
+
+    def test_unknown_protocol_rejected(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "bogus"])

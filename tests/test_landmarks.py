@@ -1,0 +1,178 @@
+"""Tests for landmark selection and subarea division (repro.core.landmarks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.landmarks import (
+    Place,
+    SubareaMap,
+    places_from_visit_counts,
+    plan_landmarks,
+    select_landmarks,
+)
+
+
+def P(pid, x, y, visits):
+    return Place(place_id=pid, x=x, y=y, visits=visits)
+
+
+class TestSelectLandmarks:
+    def test_top_n(self):
+        places = [P(0, 0, 0, 10), P(1, 5, 0, 30), P(2, 10, 0, 20)]
+        chosen = select_landmarks(places, top_n=2)
+        assert [p.place_id for p in chosen] == [1, 2]
+
+    def test_distance_pruning_keeps_more_visited(self):
+        places = [P(0, 0, 0, 10), P(1, 0.5, 0, 30)]
+        chosen = select_landmarks(places, d_min=1.0)
+        assert [p.place_id for p in chosen] == [1]
+
+    def test_result_pairwise_separated(self):
+        rng = np.random.default_rng(0)
+        places = [
+            P(i, float(rng.uniform(0, 10)), float(rng.uniform(0, 10)), int(rng.integers(1, 100)))
+            for i in range(50)
+        ]
+        chosen = select_landmarks(places, d_min=2.0)
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1:]:
+                assert a.distance_to(b) >= 2.0
+
+    def test_no_pruning_without_dmin(self):
+        places = [P(0, 0, 0, 10), P(1, 0.001, 0, 5)]
+        assert len(select_landmarks(places)) == 2
+
+    def test_ties_broken_by_id(self):
+        places = [P(5, 0, 0, 10), P(3, 10, 0, 10)]
+        chosen = select_landmarks(places, top_n=1)
+        assert chosen[0].place_id == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            select_landmarks([], top_n=0)
+        with pytest.raises(ValueError):
+            select_landmarks([], d_min=-1)
+
+
+class TestSubareaMap:
+    def test_requires_landmarks(self):
+        with pytest.raises(ValueError):
+            SubareaMap([])
+
+    def test_nearest_assignment(self):
+        m = SubareaMap([P(0, 0, 0, 1), P(1, 10, 0, 1)])
+        assert m.subarea_of(1, 0) == 0
+        assert m.subarea_of(9, 0) == 1
+
+    def test_midpoint_split_evenly(self):
+        """Paper rule: the area between two landmarks is evenly split."""
+        m = SubareaMap([P(0, 0, 0, 1), P(1, 10, 0, 1)])
+        assert m.subarea_of(4.999, 0) == 0
+        assert m.subarea_of(5.001, 0) == 1
+
+    def test_every_subarea_contains_its_landmark(self):
+        rng = np.random.default_rng(1)
+        places = [P(i, float(rng.uniform(0, 100)), float(rng.uniform(0, 100)), 1) for i in range(20)]
+        m = SubareaMap(places)
+        for p in places:
+            assert m.subarea_of(p.x, p.y) == p.place_id
+
+    def test_vectorised_matches_scalar(self):
+        places = [P(0, 0, 0, 1), P(1, 10, 0, 1), P(2, 0, 10, 1)]
+        m = SubareaMap(places)
+        pts = np.array([[1.0, 1.0], [9.0, 1.0], [1.0, 9.0]])
+        assert m.subareas_of(pts).tolist() == [0, 1, 2]
+
+    def test_subareas_of_shape_check(self):
+        m = SubareaMap([P(0, 0, 0, 1)])
+        with pytest.raises(ValueError):
+            m.subareas_of(np.zeros((3, 3)))
+
+    def test_no_overlap_partition(self):
+        """Every sample point belongs to exactly one subarea (trivially true
+        for nearest-assignment, checked over a grid)."""
+        places = [P(i, float(i * 3), float((i * 7) % 5), 1) for i in range(6)]
+        m = SubareaMap(places)
+        xs, ys = np.meshgrid(np.linspace(-1, 20, 30), np.linspace(-1, 10, 30))
+        owners = m.subareas_of(np.column_stack([xs.ravel(), ys.ravel()]))
+        assert set(owners) <= {p.place_id for p in places}
+
+    def test_adjacency_symmetric(self):
+        places = [P(0, 0, 0, 1), P(1, 10, 0, 1), P(2, 5, 10, 1)]
+        adj = SubareaMap(places).adjacency(resolution=32)
+        for a, neighbors in adj.items():
+            for b in neighbors:
+                assert a in adj[b]
+
+    def test_adjacency_line_topology(self):
+        # three collinear landmarks: 0-1-2; 0 and 2 are not adjacent
+        places = [P(0, 0, 0, 1), P(1, 10, 0, 1), P(2, 20, 0, 1)]
+        adj = SubareaMap(places).adjacency(resolution=64)
+        assert 1 in adj[0]
+        assert 2 not in adj[0]
+
+
+class TestPlanLandmarks:
+    def test_end_to_end(self):
+        coords = {0: (0.0, 0.0), 1: (0.3, 0.0), 2: (10.0, 0.0)}
+        visits = {0: 100, 1: 5, 2: 50}
+        m = plan_landmarks(coords, visits, d_min=1.0)
+        # place 1 pruned (too close to the more popular 0)
+        assert m.n_subareas == 2
+        assert m.subarea_of(0.3, 0.0) == 0
+
+    def test_places_from_visit_counts_defaults_zero(self):
+        places = places_from_visit_counts({7: (1.0, 2.0)}, {})
+        assert places[0].visits == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100), st.integers(0, 1000)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+def test_selection_invariants(raw, d_min):
+    places = [P(i, x, y, v) for i, (x, y, v) in enumerate(raw)]
+    chosen = select_landmarks(places, d_min=d_min)
+    # sorted by decreasing visits
+    visits = [p.visits for p in chosen]
+    assert visits == sorted(visits, reverse=True)
+    # the most-visited place always survives
+    assert chosen[0].visits == max(p.visits for p in places)
+    # pairwise separation holds
+    for i, a in enumerate(chosen):
+        for b in chosen[i + 1:]:
+            assert a.distance_to(b) >= d_min - 1e-9
+
+
+class TestAsciiRendering:
+    def test_dimensions(self):
+        from repro.core.landmarks import render_subareas_ascii
+        m = SubareaMap([P(0, 0, 0, 1), P(1, 10, 0, 1)])
+        art = render_subareas_ascii(m, width=20, height=6)
+        lines = art.splitlines()
+        assert len(lines) == 6
+        assert all(len(l) == 20 for l in lines)
+
+    def test_landmark_markers_present(self):
+        from repro.core.landmarks import render_subareas_ascii
+        m = SubareaMap([P(0, 0, 0, 1), P(1, 10, 0, 1)])
+        art = render_subareas_ascii(m, width=20, height=6)
+        assert art.count("*") == 2
+
+    def test_cells_owned_by_nearest(self):
+        from repro.core.landmarks import render_subareas_ascii
+        m = SubareaMap([P(0, 0, 0, 1), P(1, 10, 0, 1)])
+        art = render_subareas_ascii(m, width=21, height=3)
+        middle = art.splitlines()[1]
+        assert middle[1] == "0" and middle[-2] == "1"
+
+    def test_invalid_dims_rejected(self):
+        from repro.core.landmarks import render_subareas_ascii
+        m = SubareaMap([P(0, 0, 0, 1)])
+        with pytest.raises(ValueError):
+            render_subareas_ascii(m, width=0)

@@ -1,0 +1,134 @@
+"""Tests for the rate-limited link model and TTL jitter (IV-D.5 substrate)."""
+
+import math
+
+import pytest
+
+from repro.core import DTNFlowConfig, DTNFlowProtocol, SchedulerConfig
+from repro.mobility.trace import Trace, VisitRecord, days
+from repro.sim.engine import RoutingProtocol, SimConfig, Simulation, run_simulation
+from repro.sim.packets import Packet, PacketFactory
+
+import numpy as np
+
+
+def rec(start, end, node, landmark):
+    return VisitRecord(start=start, end=end, node=node, landmark=landmark)
+
+
+def shuttle(n_trips=40, period=1000.0, visit_frac=0.4):
+    recs = []
+    for i in range(n_trips):
+        t = i * period
+        recs.append(rec(t, t + period * visit_frac, 0, i % 2))
+    return Trace(recs, name="shuttle")
+
+
+class GreedyProtocol(RoutingProtocol):
+    name = "greedy"
+
+    def on_visit_start(self, world, node, station, t):
+        for p in station.buffer.packets():
+            world.station_to_node(station, node, p)
+
+
+class TestLinkBudget:
+    def test_unlimited_by_default(self):
+        cfg = SimConfig(rate_per_landmark_per_day=0.0)
+        sim = Simulation(shuttle(), GreedyProtocol(), cfg)
+        assert sim.world.link_budget_remaining(sim.world.nodes[0]) == math.inf
+
+    def test_budget_set_per_visit(self):
+        cfg = SimConfig(rate_per_landmark_per_day=0.0, link_rate_bytes_per_sec=10.0)
+        sim = Simulation(shuttle(), GreedyProtocol(), cfg)
+        w = sim.world
+        node = w.nodes[0]
+        w.begin_visit_budget(node, duration=100.0)
+        assert w.link_budget_remaining(node) == 1000.0
+
+    def test_transfer_charges_budget(self):
+        cfg = SimConfig(rate_per_landmark_per_day=0.0, link_rate_bytes_per_sec=10.0)
+        sim = Simulation(shuttle(), GreedyProtocol(), cfg)
+        w = sim.world
+        node, station = w.nodes[0], w.stations[0]
+        w.begin_visit_budget(node, duration=200.0)  # 2000 bytes = 1 packet
+        p1 = Packet(pid=0, src=1, dst=1, created=0.0, ttl=1e9, size=1024)
+        p2 = Packet(pid=1, src=1, dst=1, created=0.0, ttl=1e9, size=1024)
+        station.buffer.add(p1)
+        station.buffer.add(p2)
+        assert w.station_to_node(station, node, p1)
+        assert not w.station_to_node(station, node, p2)  # budget exhausted
+        assert w.link_budget_remaining(node) == pytest.approx(2000.0 - 1024.0)
+
+    def test_upload_also_charged(self):
+        cfg = SimConfig(rate_per_landmark_per_day=0.0, link_rate_bytes_per_sec=1.0)
+        sim = Simulation(shuttle(), GreedyProtocol(), cfg)
+        w = sim.world
+        node, station = w.nodes[0], w.stations[1]
+        w.begin_visit_budget(node, duration=10.0)  # 10 bytes: nothing fits
+        p = Packet(pid=0, src=0, dst=1, created=0.0, ttl=1e9, size=1024)
+        node.buffer.add(p)
+        assert not w.node_to_station(node, station, p)
+        assert p.pid in node.buffer  # refused transfer leaves the packet
+
+    def test_tight_rate_reduces_success(self):
+        trace = shuttle(n_trips=60)
+        base = dict(ttl=days(1.0), rate_per_landmark_per_day=80.0,
+                    time_unit=5000.0, seed=3, warmup_fraction=0.1)
+        free = run_simulation(trace, GreedyProtocol(), SimConfig(**base))
+        tight = run_simulation(
+            trace, GreedyProtocol(),
+            SimConfig(link_rate_bytes_per_sec=3.0, **base),
+        )
+        assert tight.success_rate < free.success_rate
+        assert tight.forwarding_ops < free.forwarding_ops
+
+    def test_dtn_flow_respects_budget(self, dart_tiny):
+        base = dict(ttl=days(5.0), rate_per_landmark_per_day=300.0,
+                    workload_scale=0.02, time_unit=days(2.0), seed=5)
+        free = run_simulation(dart_tiny, DTNFlowProtocol(), SimConfig(**base))
+        tight = run_simulation(
+            dart_tiny, DTNFlowProtocol(),
+            SimConfig(link_rate_bytes_per_sec=0.5, **base),
+        )
+        assert tight.success_rate < free.success_rate
+
+
+class TestTTLJitter:
+    def test_factory_jitter_bounds(self):
+        f = PacketFactory(ttl=100.0, ttl_jitter=0.5, rng=np.random.default_rng(0))
+        ttls = [f.create(0, 1, 0.0).ttl for _ in range(200)]
+        assert all(50.0 <= t <= 150.0 for t in ttls)
+        assert max(ttls) - min(ttls) > 20.0  # actually varies
+
+    def test_factory_no_jitter_constant(self):
+        f = PacketFactory(ttl=100.0)
+        assert {f.create(0, 1, 0.0).ttl for _ in range(5)} == {100.0}
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            PacketFactory(ttl=1.0, ttl_jitter=1.0)
+
+    def test_sim_config_jitter_deterministic(self, dart_tiny):
+        cfg = SimConfig(ttl=days(5.0), rate_per_landmark_per_day=200.0,
+                        workload_scale=0.02, time_unit=days(2.0), seed=5,
+                        ttl_jitter=0.4)
+        a = run_simulation(dart_tiny, DTNFlowProtocol(), cfg)
+        b = run_simulation(dart_tiny, DTNFlowProtocol(), cfg)
+        assert a == b
+
+
+class TestSchedulerPriorityUnderLoad:
+    def test_urgent_beats_fifo_on_tight_link(self, dart_tiny):
+        """The IV-D.5 priority rule pays off when the link is the bottleneck
+        and deadlines are heterogeneous."""
+        base = dict(ttl=days(5.0), rate_per_landmark_per_day=300.0,
+                    workload_scale=0.02, time_unit=days(2.0), seed=5,
+                    ttl_jitter=0.6, link_rate_bytes_per_sec=0.7)
+        res = {}
+        for prio in ("urgent", "fifo"):
+            proto = DTNFlowProtocol(
+                DTNFlowConfig(scheduler=SchedulerConfig(priority=prio))
+            )
+            res[prio] = run_simulation(dart_tiny, proto, SimConfig(**base))
+        assert res["urgent"].success_rate >= res["fifo"].success_rate

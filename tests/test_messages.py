@@ -1,0 +1,103 @@
+"""Tests for message segmentation/reassembly (repro.sim.messages)."""
+
+import pytest
+
+from repro.core import DTNFlowProtocol
+from repro.mobility.trace import Trace, VisitRecord, days
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.messages import META_MESSAGE, META_SEGMENT, MessageSegmenter
+from repro.sim.packets import PacketFactory
+
+
+def rec(start, end, node, landmark):
+    return VisitRecord(start=start, end=end, node=node, landmark=landmark)
+
+
+@pytest.fixture
+def factory():
+    return PacketFactory(ttl=1e6, size=1024)
+
+
+class TestSegmentation:
+    def test_segment_count(self, factory):
+        seg = MessageSegmenter(factory)
+        packets = seg.segment(src=0, dst=1, message_size=4096, now=0.0)
+        assert len(packets) == 4
+
+    def test_partial_segment_rounds_up(self, factory):
+        seg = MessageSegmenter(factory)
+        packets = seg.segment(src=0, dst=1, message_size=1025, now=0.0)
+        assert len(packets) == 2
+
+    def test_small_message_one_segment(self, factory):
+        seg = MessageSegmenter(factory)
+        assert len(seg.segment(src=0, dst=1, message_size=10, now=0.0)) == 1
+
+    def test_zero_size_rejected(self, factory):
+        with pytest.raises(ValueError):
+            MessageSegmenter(factory).segment(src=0, dst=1, message_size=0, now=0.0)
+
+    def test_segments_tagged(self, factory):
+        seg = MessageSegmenter(factory)
+        packets = seg.segment(src=0, dst=1, message_size=3000, now=5.0)
+        assert [p.meta[META_SEGMENT] for p in packets] == [0, 1, 2]
+        assert len({p.meta[META_MESSAGE] for p in packets}) == 1
+        assert all(p.src == 0 and p.dst == 1 and p.created == 5.0 for p in packets)
+
+    def test_message_ids_unique(self, factory):
+        seg = MessageSegmenter(factory)
+        a = seg.segment(src=0, dst=1, message_size=100, now=0.0)
+        b = seg.segment(src=0, dst=1, message_size=100, now=0.0)
+        assert a[0].meta[META_MESSAGE] != b[0].meta[META_MESSAGE]
+
+
+class TestReassembly:
+    def test_incomplete_until_all_segments(self, factory):
+        seg = MessageSegmenter(factory)
+        packets = seg.segment(src=0, dst=1, message_size=2048, now=0.0)
+        mid = packets[0].meta[META_MESSAGE]
+        packets[0].delivered_at = 10.0
+        st = seg.status(mid)
+        assert not st.complete
+        assert st.progress == 0.5
+        packets[1].delivered_at = 25.0
+        assert st.complete
+        assert st.completion_time == 25.0
+
+    def test_message_success_rate(self, factory):
+        seg = MessageSegmenter(factory)
+        done = seg.segment(src=0, dst=1, message_size=1024, now=0.0)
+        done[0].delivered_at = 1.0
+        seg.segment(src=0, dst=1, message_size=2048, now=0.0)  # undelivered
+        assert seg.message_success_rate() == 0.5
+        assert len(seg.completed_messages()) == 1
+
+    def test_no_messages_rate_zero(self, factory):
+        assert MessageSegmenter(factory).message_success_rate() == 0.0
+
+
+class TestEndToEndFileTransfer:
+    def test_segments_ride_the_network(self):
+        """A multi-segment message crosses a two-landmark shuttle network."""
+        recs = [rec(i * 1000.0, i * 1000.0 + 400, 0, i % 2) for i in range(40)]
+        trace = Trace(recs)
+        proto = DTNFlowProtocol()
+        cfg = SimConfig(ttl=days(1.0), rate_per_landmark_per_day=0.0,
+                        time_unit=4000.0, seed=1)
+        sim = Simulation(trace, proto, cfg)
+        seg = MessageSegmenter(sim.factory)
+        holder = {}
+
+        def probe(world):
+            packets = seg.segment(src=0, dst=1, message_size=5 * 1024, now=world.now)
+            for p in packets:
+                world.stations[0].buffer.add(p)
+                world.metrics.on_generated()
+            holder["mid"] = packets[0].meta[META_MESSAGE]
+
+        sim.probes = [(8000.0, probe)]
+        sim.run()
+        status = seg.status(holder["mid"])
+        assert status.complete
+        assert status.completion_time is not None
+        assert seg.message_success_rate() == 1.0

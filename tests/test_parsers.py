@@ -1,0 +1,82 @@
+"""Tests for raw-log parsing (repro.mobility.parsers)."""
+
+import pytest
+
+from repro.mobility.parsers import (
+    ApSighting,
+    ParseError,
+    RawAssociation,
+    associations_to_visits,
+    parse_dart_log,
+    parse_dnet_log,
+    sightings_to_associations,
+    write_dart_log,
+    write_dnet_log,
+)
+
+
+class TestDartParsing:
+    def test_basic_line(self):
+        (r,) = parse_dart_log("7,library,100.0,200.0")
+        assert r == RawAssociation(node=7, ap="library", start=100.0, end=200.0)
+
+    def test_comments_and_blanks_skipped(self):
+        recs = parse_dart_log("# header\n\n1,a,0,1\n")
+        assert len(recs) == 1
+
+    def test_bad_field_count(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_dart_log("1,a,0")
+
+    def test_bad_number(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_dart_log("1,a,0,1\n1,a,zero,1")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dart_log("1,a,10,5")
+
+    def test_roundtrip(self):
+        recs = [RawAssociation(node=1, ap="x", start=0.0, end=10.0),
+                RawAssociation(node=2, ap="y", start=5.0, end=6.0)]
+        assert parse_dart_log(write_dart_log(recs)) == recs
+
+    def test_parse_from_iterable(self):
+        recs = parse_dart_log(iter(["1,a,0,1", "2,b,1,2"]))
+        assert len(recs) == 2
+
+
+class TestDnetParsing:
+    def test_basic_line(self):
+        (s,) = parse_dnet_log("3,ap1,42.37,-72.52,0,60")
+        assert s.node == 3 and s.ap == "ap1"
+        assert s.lat == pytest.approx(42.37)
+        assert s.duration == 60
+
+    def test_bad_field_count(self):
+        with pytest.raises(ParseError):
+            parse_dnet_log("3,ap1,42.37,-72.52,0")
+
+    def test_roundtrip(self):
+        recs = [ApSighting(node=1, ap="a", lat=1.5, lon=-2.5, start=0.0, end=9.0)]
+        assert parse_dnet_log(write_dnet_log(recs)) == recs
+
+
+class TestConversions:
+    def test_associations_to_visits_drops_unknown_aps(self):
+        assocs = [
+            RawAssociation(node=0, ap="known", start=0, end=1),
+            RawAssociation(node=0, ap="unknown", start=2, end=3),
+        ]
+        visits = associations_to_visits(assocs, {"known": 7})
+        assert len(visits) == 1
+        assert visits[0].landmark == 7
+
+    def test_sightings_to_associations_extracts_coords(self):
+        sights = [
+            ApSighting(node=0, ap="a", lat=1.0, lon=2.0, start=0, end=1),
+            ApSighting(node=1, ap="a", lat=1.0, lon=2.0, start=2, end=3),
+        ]
+        assocs, coords = sightings_to_associations(sights)
+        assert len(assocs) == 2
+        assert coords == {"a": (1.0, 2.0)}

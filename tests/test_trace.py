@@ -1,0 +1,132 @@
+"""Tests for the trace data model (repro.mobility.trace)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mobility.trace import SECONDS_PER_DAY, Trace, Transit, VisitRecord, days, hours
+
+
+def rec(start, end, node, landmark):
+    return VisitRecord(start=start, end=end, node=node, landmark=landmark)
+
+
+class TestVisitRecord:
+    def test_duration(self):
+        assert rec(10.0, 25.0, 0, 1).duration == 15.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            rec(10.0, 5.0, 0, 1)
+
+    def test_ordering_by_start(self):
+        a, b = rec(5, 6, 0, 0), rec(1, 9, 0, 0)
+        assert sorted([a, b]) == [b, a]
+
+    def test_frozen(self):
+        r = rec(0, 1, 0, 0)
+        with pytest.raises(AttributeError):
+            r.start = 5
+
+
+class TestTraceStructure:
+    def test_empty_trace(self):
+        t = Trace([])
+        assert len(t) == 0
+        assert t.duration == 0.0
+        assert t.nodes == ()
+        assert t.landmarks == ()
+
+    def test_records_sorted(self):
+        t = Trace([rec(10, 11, 0, 0), rec(0, 1, 1, 1)])
+        assert t[0].start == 0
+
+    def test_node_and_landmark_sets(self):
+        t = Trace([rec(0, 1, 3, 7), rec(1, 2, 5, 7), rec(2, 3, 3, 9)])
+        assert t.nodes == (3, 5)
+        assert t.landmarks == (7, 9)
+        assert t.n_nodes == 2
+        assert t.n_landmarks == 2
+
+    def test_span(self):
+        t = Trace([rec(5, 30, 0, 0), rec(10, 12, 1, 1)])
+        assert t.start_time == 5
+        assert t.end_time == 30
+        assert t.duration == 25
+
+    def test_visits_of_unknown_node(self):
+        t = Trace([rec(0, 1, 0, 0)])
+        assert t.visits_of(99) == ()
+
+    def test_visit_sequence_in_time_order(self):
+        t = Trace([rec(10, 11, 0, 2), rec(0, 1, 0, 1), rec(20, 21, 0, 3)])
+        assert t.visit_sequence(0) == [1, 2, 3]
+
+
+class TestTransits:
+    def test_basic_transit(self):
+        t = Trace([rec(0, 1, 0, 5), rec(2, 3, 0, 6)])
+        (tr,) = t.transits()
+        assert tr == Transit(node=0, src=5, dst=6, depart=1, arrive=2)
+        assert tr.travel_time == 1
+
+    def test_same_landmark_not_a_transit(self):
+        t = Trace([rec(0, 1, 0, 5), rec(2, 3, 0, 5), rec(4, 5, 0, 6)])
+        trs = t.transits()
+        assert len(trs) == 1
+        assert trs[0].src == 5 and trs[0].dst == 6
+
+    def test_transits_are_per_node(self):
+        t = Trace([rec(0, 1, 0, 5), rec(2, 3, 1, 6)])
+        assert t.transits() == []
+
+    def test_transit_count(self):
+        visits = [rec(i * 10, i * 10 + 1, 0, i % 3) for i in range(9)]
+        t = Trace(visits)
+        assert len(t.transits()) == 8
+
+
+class TestSplit:
+    def test_split_partitions_records(self):
+        t = Trace([rec(i, i + 0.5, 0, i % 2) for i in range(10)])
+        before, after = t.split_at(5.0)
+        assert len(before) + len(after) == len(t)
+        assert all(r.start < 5 for r in before)
+        assert all(r.start >= 5 for r in after)
+
+    def test_split_names(self):
+        t = Trace([rec(0, 1, 0, 0)], name="X")
+        b, a = t.split_at(0.5)
+        assert "X" in b.name and "X" in a.name
+
+
+class TestTimeHelpers:
+    def test_days(self):
+        assert days(1) == SECONDS_PER_DAY
+        assert days(0.5) == 43200.0
+
+    def test_hours(self):
+        assert hours(2) == 7200.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6),
+            st.floats(min_value=0, max_value=1e4),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=40,
+    )
+)
+def test_trace_invariants(raw):
+    """Property: traces are sorted, and transits never pair equal landmarks."""
+    recs = [rec(s, s + d, n, l) for s, d, n, l in raw]
+    t = Trace(recs)
+    starts = [r.start for r in t]
+    assert starts == sorted(starts)
+    for tr in t.transits():
+        assert tr.src != tr.dst
+    # transit count bounded by records - #nodes
+    if len(t):
+        assert len(t.transits()) <= len(t) - t.n_nodes

@@ -1,0 +1,240 @@
+"""Unit + property tests for repro.utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    Ewma,
+    FiveNumberSummary,
+    five_number_summary,
+    format_table,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+from repro.utils.validation import require_sorted
+
+
+# ---------------------------------------------------------------------------
+# Ewma
+# ---------------------------------------------------------------------------
+
+
+class TestEwma:
+    def test_initial_value(self):
+        assert Ewma(rho=0.5).value == 0.0
+        assert Ewma(rho=0.5, initial=3.0).value == 3.0
+
+    def test_single_update(self):
+        e = Ewma(rho=0.5)
+        assert e.update(4.0) == 2.0
+
+    def test_two_updates(self):
+        e = Ewma(rho=0.5)
+        e.update(4.0)
+        assert e.update(4.0) == 3.0
+
+    def test_rho_one_tracks_latest(self):
+        e = Ewma(rho=1.0, initial=10.0)
+        e.update(7.0)
+        assert e.value == 7.0
+
+    def test_rejects_zero_rho(self):
+        with pytest.raises(ValueError):
+            Ewma(rho=0.0)
+
+    def test_rejects_rho_above_one(self):
+        with pytest.raises(ValueError):
+            Ewma(rho=1.5)
+
+    def test_n_updates_counts(self):
+        e = Ewma()
+        for i in range(5):
+            e.update(i)
+        assert e.n_updates == 5
+
+    def test_reset(self):
+        e = Ewma()
+        e.update(10)
+        e.reset(2.0)
+        assert e.value == 2.0
+        assert e.n_updates == 0
+
+    @given(
+        rho=st.floats(min_value=0.01, max_value=1.0),
+        samples=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+    )
+    def test_stays_within_sample_hull(self, rho, samples):
+        """EWMA of nonnegative samples never exceeds the running max."""
+        e = Ewma(rho=rho)
+        hi = 0.0
+        for s in samples:
+            hi = max(hi, s)
+            e.update(s)
+            assert -1e-9 <= e.value <= hi + 1e-9
+
+    @given(st.floats(min_value=0.05, max_value=0.99))
+    def test_converges_to_constant(self, rho):
+        e = Ewma(rho=rho)
+        for _ in range(300):
+            e.update(5.0)
+        assert e.value == pytest.approx(5.0, rel=1e-2)
+
+
+# ---------------------------------------------------------------------------
+# five_number_summary
+# ---------------------------------------------------------------------------
+
+
+class TestFiveNumberSummary:
+    def test_single_value(self):
+        s = five_number_summary([3.0])
+        assert s.as_tuple() == (3.0, 3.0, 3.0, 3.0, 3.0)
+
+    def test_known_values(self):
+        s = five_number_summary([1, 2, 3, 4, 5])
+        assert s.minimum == 1
+        assert s.maximum == 5
+        assert s.mean == 3
+        assert s.q1 == 2
+        assert s.q3 == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            five_number_summary([])
+
+    def test_str_contains_fields(self):
+        s = five_number_summary([1.0, 2.0])
+        text = str(s)
+        for key in ("min=", "q1=", "mean=", "q3=", "max="):
+            assert key in text
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+    def test_ordering_invariant(self, xs):
+        s = five_number_summary(xs)
+        eps = 1e-6 * (abs(s.maximum) + abs(s.minimum) + 1.0)
+        assert s.minimum <= s.q1 + eps
+        assert s.q1 <= s.q3 + eps
+        assert s.q3 <= s.maximum + eps
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_require_positive_passes(self):
+        assert require_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive("x", bad)
+
+    def test_require_non_negative(self):
+        assert require_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            require_non_negative("x", -1e-9)
+
+    def test_require_in_range_inclusive(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_require_in_range_exclusive_low(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", 0.0, 0.0, 1.0, inclusive_low=False)
+
+    def test_require_in_range_exclusive_high(self):
+        with pytest.raises(ValueError):
+            require_in_range("x", 1.0, 0.0, 1.0, inclusive_high=False)
+
+    def test_require_probability(self):
+        assert require_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            require_probability("p", 1.01)
+
+    def test_require_sorted_ok(self):
+        require_sorted("xs", [1, 1, 2, 3])
+
+    def test_require_sorted_strict_rejects_ties(self):
+        with pytest.raises(ValueError):
+            require_sorted("xs", [1, 1, 2], strict=True)
+
+    def test_require_sorted_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            require_sorted("xs", [2, 1])
+
+
+# ---------------------------------------------------------------------------
+# format_table
+# ---------------------------------------------------------------------------
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "33" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [12345.6], [0.0001234]])
+        assert "0.123" in out
+        assert "1.23e+04" in out or "12345" not in out  # 3 sig digits
+        assert "0.000123" in out
+
+    def test_zero_renders_plain(self):
+        out = format_table(["v"], [[0.0]])
+        assert "0" in out.splitlines()[-1]
+
+
+class TestSparklines:
+    def test_empty(self):
+        from repro.utils.tables import sparkline
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        from repro.utils.tables import sparkline
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        from repro.utils.tables import sparkline, _SPARK_CHARS
+        s = sparkline(list(range(10)))
+        levels = [_SPARK_CHARS.index(c) for c in s]
+        assert levels == sorted(levels)
+        assert levels[0] == 0 and levels[-1] == len(_SPARK_CHARS) - 1
+
+    def test_constant_series_mid_level(self):
+        from repro.utils.tables import sparkline, _SPARK_CHARS
+        s = sparkline([5, 5, 5])
+        assert set(s) == {_SPARK_CHARS[len(_SPARK_CHARS) // 2]}
+
+    def test_shared_scale(self):
+        from repro.utils.tables import sparkline
+        hi_series = sparkline([10, 10], lo=0, hi=10)
+        lo_series = sparkline([0, 0], lo=0, hi=10)
+        assert hi_series != lo_series
+
+    def test_series_figure_layout(self):
+        from repro.utils.tables import series_figure
+        fig = series_figure({"a": [0, 1], "bb": [1, 0]}, title="T")
+        lines = fig.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert all("[" in l and ".." in l for l in lines[1:])
+
+    def test_series_figure_empty(self):
+        from repro.utils.tables import series_figure
+        assert series_figure({}, title="x") == "x"
