@@ -30,6 +30,7 @@ Quickstart::
 from repro.baselines import PAPER_PROTOCOLS, make_protocol, protocol_names
 from repro.core import DTNFlowConfig, DTNFlowProtocol, MarkovPredictor
 from repro.mobility import Trace, VisitRecord, dart_like, deployment_trace, dnet_like
+from repro.obs import Observability, ObsConfig, RunProvenance
 from repro.sim import MetricsSummary, SimConfig, Simulation, run_simulation
 
 __version__ = "1.0.0"
@@ -47,6 +48,9 @@ __all__ = [
     "deployment_trace",
     "dnet_like",
     "MetricsSummary",
+    "Observability",
+    "ObsConfig",
+    "RunProvenance",
     "SimConfig",
     "Simulation",
     "run_simulation",

@@ -22,8 +22,10 @@ with n entries".
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional
 
+from repro.obs import event_types as ev
 from repro.sim.engine import RoutingProtocol, World
 from repro.sim.entities import LandmarkStation, MobileNode
 from repro.sim.packets import Packet
@@ -66,6 +68,8 @@ class UtilityProtocol(RoutingProtocol):
         nodes = world.connected_nodes(station)
         if not nodes:
             return
+        prof = world.obs.profiler
+        t_start = perf_counter() if prof.enabled else 0.0
         for p in station.buffer.packets():
             best: Optional[MobileNode] = None
             best_util = self.station_threshold
@@ -77,6 +81,8 @@ class UtilityProtocol(RoutingProtocol):
                     best, best_util = nd, u
             if best is not None:
                 world.station_to_node(station, best, p)
+        if prof.enabled:
+            prof.add("baseline.carrier_selection", perf_counter() - t_start)
 
     def _compare_and_forward(
         self, world: World, holder: MobileNode, peer: MobileNode, t: float
@@ -95,6 +101,11 @@ class UtilityProtocol(RoutingProtocol):
         self.learn_visit(world, node, station, t)
         # node registers its utility table with the station
         world.metrics.on_table_exchange(self.table_size(world, node))
+        if world.obs_enabled:
+            world.events.emit(
+                t, ev.TABLE_EXCHANGE, node=node.nid, landmark=station.lid,
+                kind="utility_table", n_entries=self.table_size(world, node),
+            )
         self._station_push(world, station, t)
 
     def on_contact(
@@ -104,6 +115,15 @@ class UtilityProtocol(RoutingProtocol):
         # bidirectional utility-table exchange
         world.metrics.on_table_exchange(self.table_size(world, a))
         world.metrics.on_table_exchange(self.table_size(world, b))
+        if world.obs_enabled:
+            world.events.emit(
+                t, ev.TABLE_EXCHANGE, node=a.nid, landmark=station.lid,
+                kind="utility_table", n_entries=self.table_size(world, a), peer=b.nid,
+            )
+            world.events.emit(
+                t, ev.TABLE_EXCHANGE, node=b.nid, landmark=station.lid,
+                kind="utility_table", n_entries=self.table_size(world, b), peer=a.nid,
+            )
         self._compare_and_forward(world, a, b, t)
         self._compare_and_forward(world, b, a, t)
 

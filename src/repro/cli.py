@@ -8,14 +8,21 @@ Commands
 ``sweep``       the Fig. 11-14 memory/rate sweeps
 ``deployment``  the Section V-C campus deployment
 ``predict``     the Fig. 6 order-k prediction study
+``trace``       replay a run with event tracing; follow a packet hop-by-hop
+``stats``       registry metrics + phase timings for one traced run
 
 Traces are either the built-in profiles (``dart``, ``dnet``) or a CSV file
 written by :func:`repro.mobility.io.dump_trace` (pass a path).
+
+``run`` and ``compare`` accept ``--json`` for machine-readable output; the
+rows carry full run provenance (config, seed, package version) so result
+files are self-describing.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -28,6 +35,7 @@ from repro.eval.sweeps import memory_sweep, rate_sweep
 from repro.mobility import io as trace_io
 from repro.mobility import stats
 from repro.mobility.trace import Trace, days
+from repro.obs import ALL_EVENTS, EventLog, Observability
 from repro.sim.engine import Simulation
 from repro.utils.tables import format_table
 
@@ -75,6 +83,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
     protocol = make_protocol(args.protocol)
     result = Simulation(trace, protocol, config).run()
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0
     rows = [
         ["packets generated", result.generated],
         ["delivered", result.delivered],
@@ -92,6 +103,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     trace, profile = _resolve_trace(args.trace, args.seed)
     rows = []
+    json_rows: List[dict] = []
     for name in PAPER_PROTOCOLS:
         if args.seeds > 1:
             cis = run_with_confidence(
@@ -106,6 +118,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 str(cis["forwarding_ops"]),
                 str(cis["total_cost"]),
             ])
+            json_rows.append({
+                "protocol": name,
+                "trace": trace.name,
+                "memory_kb": args.memory,
+                "rate": args.rate,
+                "seeds": list(range(args.seed, args.seed + args.seeds)),
+                "metrics": {
+                    m: {"mean": ci.mean, "half_width": ci.half_width,
+                        "n": ci.n, "level": ci.level}
+                    for m, ci in cis.items()
+                },
+            })
         else:
             config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
             r = Simulation(trace, make_protocol(name), config).run()
@@ -113,6 +137,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 name, f"{r.success_rate:.3f}", f"{r.avg_delay / 3600:.1f}",
                 r.forwarding_ops, r.total_cost,
             ])
+            json_rows.append(r.as_dict())
+    if args.json:
+        print(json.dumps(json_rows, indent=2, sort_keys=True))
+        return 0
     print(format_table(
         ["protocol", "success rate", "avg delay (h)", "fwd ops", "total cost"],
         rows,
@@ -164,10 +192,153 @@ def cmd_predict(args: argparse.Namespace) -> int:
     rows = []
     for k in (1, 2, 3):
         ev = evaluate_predictor(trace, k)
+        if not ev.per_node_accuracy:
+            # short traces can leave no node with enough visits to score
+            rows.append([k, "n/a", "n/a", "n/a"])
+            continue
         s = ev.summary()
         rows.append([k, round(ev.mean_accuracy, 3), round(s.q1, 3), round(s.q3, 3)])
     print(format_table(["k", "mean accuracy", "q1", "q3"], rows,
                        title=f"order-k transit prediction on {trace.name}:"))
+    return 0
+
+
+def _run_traced(args: argparse.Namespace):
+    """Run one experiment with full observability on; returns (trace, obs, summary)."""
+    trace, profile = _resolve_trace(args.trace, args.seed)
+    config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
+    obs = Observability.tracing(event_capacity=args.capacity)
+    protocol = make_protocol(args.protocol)
+    summary = Simulation(trace, protocol, config, obs=obs).run()
+    return trace, obs, summary
+
+
+def _event_rows(events, t0: float) -> List[list]:
+    """Render events as table rows (time in hours since trace start)."""
+    rows = []
+    for e in events:
+        details = ", ".join(
+            f"{k}={round(v, 2) if isinstance(v, float) else v}"
+            for k, v in (e.data or {}).items()
+        )
+        rows.append([
+            f"{(e.t - t0) / 3600:.2f}",
+            e.etype,
+            "-" if e.landmark is None else f"L{e.landmark}",
+            "-" if e.node is None else f"n{e.node}",
+            "-" if e.packet is None else e.packet,
+            details,
+        ])
+    return rows
+
+
+_EVENT_HEADERS = ["t (h)", "event", "landmark", "node", "packet", "details"]
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    # validate the event-type filter before the (expensive) simulation run
+    etypes = args.etype.split(",") if args.etype else None
+    if etypes:
+        unknown = [t for t in etypes if t not in ALL_EVENTS]
+        if unknown:
+            known = ", ".join(sorted(ALL_EVENTS))
+            print(f"unknown event type(s): {', '.join(unknown)}; "
+                  f"known types: {known}", file=sys.stderr)
+            return 2
+    trace, obs, summary = _run_traced(args)
+    log = obs.events
+    t0 = trace.start_time
+    if args.out:
+        n = log.to_jsonl(args.out)
+        print(f"wrote {n} events to {args.out}"
+              + (f" ({log.n_evicted} evicted from the ring buffer)" if log.n_evicted else ""))
+    if args.packet is not None:
+        journey = log.packet_journey(args.packet)
+        if not journey:
+            delivered = log.delivered_packets()
+            hint = f"; delivered ids include {delivered[:5]}" if delivered else ""
+            print(f"no recorded events for packet {args.packet}{hint}")
+            return 1
+        print(format_table(
+            _EVENT_HEADERS, _event_rows(journey, t0),
+            title=f"packet {args.packet} journey ({trace.name}, {args.protocol}):",
+        ))
+        last = journey[-1]
+        if last.etype == "delivered":
+            delay = (last.data or {}).get("delay", last.t - journey[0].t)
+            print(f"\ndelivered after {delay / 3600:.2f} h and "
+                  f"{(last.data or {}).get('hops', '?')} forwarding hops")
+        elif last.etype == "dropped_ttl":
+            print("\npacket expired (dropped_ttl) before reaching its destination")
+        else:
+            print("\npacket still in flight at the end of the trace")
+        return 0
+    # no packet selected: print an overview and how to drill down
+    if etypes:
+        events = log.select(etypes=etypes)
+        shown = events[: args.limit]
+        print(format_table(
+            _EVENT_HEADERS, _event_rows(shown, t0),
+            title=f"{len(events)} events of type {args.etype} (showing {len(shown)}):",
+        ))
+        return 0
+    counts = log.counts_by_type()
+    rows = [[k, counts[k]] for k in sorted(counts)]
+    print(format_table(["event", "count"], rows,
+                       title=f"{trace.name} / {args.protocol}: recorded events"))
+    if log.n_evicted:
+        print(f"({log.n_evicted} older events evicted; raise --capacity to keep more)")
+    delivered = log.delivered_packets()
+    if delivered:
+        sample = ", ".join(str(p) for p in delivered[:5])
+        print(f"\nfollow a delivered packet hop-by-hop: repro trace --packet {delivered[0]}"
+              f"  (delivered ids include: {sample})")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    trace, obs, summary = _run_traced(args)
+    if args.json:
+        out = summary.as_dict()
+        out["observability"] = obs.stats_dict()
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["packets generated", summary.generated],
+        ["delivered", summary.delivered],
+        ["success rate", f"{summary.success_rate:.4f}"],
+        ["avg delay (h)", f"{summary.avg_delay / 3600:.2f}"],
+        ["forwarding ops", summary.forwarding_ops],
+        ["maintenance ops", summary.maintenance_ops],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.protocol} on {trace.name}:"))
+    print()
+    print(format_table(
+        ["phase", "seconds", "calls"],
+        [list(r) for r in obs.profiler.rows()],
+        title="phase timings (wall-clock):",
+    ))
+    print()
+    all_rows = [list(r) for r in obs.registry.rows()]
+    if args.full:
+        shown_rows = all_rows
+    else:
+        # per-entity instruments (bracketed names) can number in the
+        # hundreds; collapse them unless --full is given
+        shown_rows = [r for r in all_rows if "[" not in r[0]]
+    print(format_table(
+        ["metric", "kind", "value"],
+        shown_rows,
+        title="metrics registry:",
+    ))
+    hidden = len(all_rows) - len(shown_rows)
+    if hidden:
+        print(f"(+ {hidden} per-entity metrics; use --full or --json to list them)")
+    prov = summary.provenance
+    if prov is not None:
+        print(f"\nprovenance: repro {prov.package_version}, python {prov.python_version}, "
+              f"seed {prov.seed}")
     return 0
 
 
@@ -177,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="DTN-FLOW reproduction command line",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def positive_int(value: str) -> int:
+        n = int(value)
+        if n <= 0:
+            raise argparse.ArgumentTypeError(f"must be positive, got {n}")
+        return n
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace", default="dart",
@@ -188,11 +365,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, help="busiest links to list")
     p.set_defaults(func=cmd_summary)
 
+    def add_workload(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--protocol", default="DTN-FLOW", choices=protocol_names())
+        p.add_argument("--memory", type=float, default=2000.0, help="node memory (kB)")
+        p.add_argument("--rate", type=float, default=500.0, help="packets/landmark/day")
+
     p = sub.add_parser("run", help="run one protocol on one workload")
     add_common(p)
-    p.add_argument("--protocol", default="DTN-FLOW", choices=protocol_names())
-    p.add_argument("--memory", type=float, default=2000.0, help="node memory (kB)")
-    p.add_argument("--rate", type=float, default=500.0, help="packets/landmark/day")
+    add_workload(p)
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="all six paper protocols, same workload")
@@ -201,7 +383,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=500.0)
     p.add_argument("--seeds", type=int, default=1,
                    help="number of workload seeds (>1 adds 95%% CIs)")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay a run with event tracing; follow a packet hop-by-hop",
+    )
+    add_common(p)
+    add_workload(p)
+    p.add_argument("--packet", type=int, default=None,
+                   help="print this packet id's full event journey")
+    p.add_argument("--etype", default=None,
+                   help="comma-separated event types to list (see docs/observability.md)")
+    p.add_argument("--limit", type=int, default=40,
+                   help="max events listed with --etype (default 40)")
+    p.add_argument("--out", default=None, help="export all events to a JSONL file")
+    p.add_argument("--capacity", type=positive_int, default=500_000,
+                   help="event ring-buffer capacity (default 500000)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="registry metrics + phase timings for one traced run",
+    )
+    add_common(p)
+    add_workload(p)
+    p.add_argument("--capacity", type=positive_int, default=500_000,
+                   help="event ring-buffer capacity (default 500000)")
+    p.add_argument("--full", action="store_true",
+                   help="also list per-entity (bracketed) registry metrics")
+    p.add_argument("--json", action="store_true",
+                   help="print metrics + timings + provenance as JSON")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("sweep", help="memory or rate sweep (Figs. 11-14)")
     add_common(p)

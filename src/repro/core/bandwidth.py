@@ -30,7 +30,7 @@ needs: delay is inversely proportional to measured bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.utils.validation import require_in_range, require_positive
 
@@ -95,6 +95,11 @@ class BandwidthEstimator:
         self._in_count: Dict[int, int] = {}
         # outgoing: dst landmark -> (bandwidth, seq of the report that set it)
         self._out_bw: Dict[int, Tuple[float, int]] = {}
+        #: optional observability hook, invoked as ``observer(kind, **info)``
+        #: whenever an estimate changes: ``kind="fold"`` after EWMA time-unit
+        #: folds (info: seq, folded, n_links) and ``kind="report"`` after an
+        #: accepted backward report (info: seq, observer_id, bandwidth)
+        self.observer: Optional[Callable[..., None]] = None
 
     # -- time-unit handling ------------------------------------------------------
     @property
@@ -125,6 +130,10 @@ class BandwidthEstimator:
             folded += 1
         if folded:
             self._version += 1
+            if self.observer is not None:
+                self.observer(
+                    "fold", seq=self._seq, folded=folded, n_links=len(self._in_bw)
+                )
         return folded
 
     # -- observations ---------------------------------------------------------------
@@ -148,6 +157,13 @@ class BandwidthEstimator:
             return False
         self._out_bw[report.observer] = (report.bandwidth, report.seq)
         self._version += 1
+        if self.observer is not None:
+            self.observer(
+                "report",
+                seq=report.seq,
+                observer_id=report.observer,
+                bandwidth=report.bandwidth,
+            )
         return True
 
     def make_backward_report(self, target: int) -> Optional[BackwardReport]:

@@ -32,9 +32,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bandwidth import BandwidthEstimator
+from repro.obs import event_types as ev
 from repro.core.deadend import DeadEndDetector
 from repro.core.loadbalance import LinkLoadMonitor
 from repro.core.loops import LoopCorrector
@@ -176,6 +178,9 @@ class DTNFlowProtocol(RoutingProtocol):
         self.registry = NodeLocationRegistry()
         self._stations: Dict[int, _StationState] = {}
         self._nodes: Dict[int, _NodeState] = {}
+        # observability plumbing, wired in setup(); None while disabled
+        self._obs = None
+        self._prof = None
 
     # -- plumbing ---------------------------------------------------------------
     def setup(self, world: World) -> None:
@@ -186,6 +191,38 @@ class DTNFlowProtocol(RoutingProtocol):
             for lid in world.stations
         }
         self._nodes = {nid: _NodeState(self.config) for nid in world.nodes}
+        self._prof = world.obs.profiler if world.obs.profiler.enabled else None
+        self._obs = world.obs if world.obs_enabled else None
+        if self._obs is not None:
+            for lid, st in self._stations.items():
+                st.bw.observer = self._make_bw_observer(world, lid)
+            acc_cb = self._make_accuracy_observer(world)
+            for ns in self._nodes.values():
+                ns.acc.observer = acc_cb
+
+    def _make_bw_observer(self, world: World, lid: int):
+        """Feed bandwidth-estimator changes into the event log + registry."""
+        emit = world.events.emit
+        folds = world.obs.registry.counter("bw.folds")
+        reports = world.obs.registry.counter("bw.reports_applied")
+        def observer(kind: str, **info) -> None:
+            if kind == "fold":
+                folds.inc(int(info.get("folded", 1)))
+            else:
+                reports.inc()
+            emit(world.now, ev.BW_UPDATE, landmark=lid, kind=kind, **info)
+        return observer
+
+    def _make_accuracy_observer(self, world: World):
+        """Feed predictor outcomes into the registry (shared by all nodes)."""
+        reg = world.obs.registry
+        hits = reg.counter("predictor.hits")
+        misses = reg.counter("predictor.misses")
+        acc_hist = reg.histogram("predictor.accuracy")
+        def observer(correct: bool, value: float) -> None:
+            (hits if correct else misses).inc()
+            acc_hist.observe(value)
+        return observer
 
     def station_state(self, lid: int) -> _StationState:
         return self._stations[lid]
@@ -207,8 +244,13 @@ class DTNFlowProtocol(RoutingProtocol):
         st.bw.advance_to(t)
         if st.bw.version == st._refreshed_version:
             return
+        obs = self._obs
         for neighbor in st.bw.known_neighbors():
             st.table.set_direct_link(neighbor, st.bw.expected_link_delay(neighbor))
+            if obs is not None:
+                obs.registry.gauge(
+                    f"bw.out[{st.bw.landmark_id}->{neighbor}]"
+                ).set(st.bw.outgoing_bandwidth(neighbor))
         st._refreshed_version = st.bw.version
 
     def _overall_transit_prob(self, ns: _NodeState, landmark: int) -> float:
@@ -218,10 +260,16 @@ class DTNFlowProtocol(RoutingProtocol):
     def _stamp_at_station(self, world: World, station: LandmarkStation, packet: Packet) -> None:
         """Record the station on the packet's path; run loop correction."""
         revisit = packet.record_visit(station.lid)
-        if revisit and self.config.enable_loop_correction:
-            self.loop_corrector.report(
-                packet, station.lid, self.routing_tables(), world.now
-            )
+        if revisit:
+            if world.obs_enabled:
+                world.events.emit(
+                    world.now, ev.LOOP_DETECTED, packet=packet.pid,
+                    landmark=station.lid, path=list(packet.visited),
+                )
+            if self.config.enable_loop_correction:
+                self.loop_corrector.report(
+                    packet, station.lid, self.routing_tables(), world.now
+                )
 
     def _expected_delay_from(self, st: _StationState, dest: int) -> float:
         return st.table.delay_to(dest)
@@ -230,6 +278,8 @@ class DTNFlowProtocol(RoutingProtocol):
     def _deliver_maintenance(
         self, world: World, node: MobileNode, station: LandmarkStation, t: float
     ) -> None:
+        prof = self._prof
+        t_start = perf_counter() if prof is not None else 0.0
         ns = self._nodes[node.nid]
         st = self._stations[station.lid]
         snap = ns.carried_snapshot
@@ -239,6 +289,11 @@ class DTNFlowProtocol(RoutingProtocol):
             link_delay = st.bw.expected_link_delay(snap.origin)
             st.table.merge_snapshot(snap, link_delay)
             world.metrics.on_table_exchange(snap.n_entries)
+            if world.obs_enabled:
+                world.events.emit(
+                    t, ev.TABLE_EXCHANGE, node=node.nid, landmark=station.lid,
+                    kind="snapshot", origin=snap.origin, n_entries=snap.n_entries,
+                )
             if self.config.enable_loop_correction:
                 # hold-down (IV-E.2): refuse routes re-learned through a hop
                 # that recently formed a corrected loop; alternative routes
@@ -249,12 +304,22 @@ class DTNFlowProtocol(RoutingProtocol):
         if report is not None and report.target == station.lid:
             st.bw.apply_backward_report(report)
             world.metrics.on_table_exchange(report.n_entries)
+            if world.obs_enabled:
+                world.events.emit(
+                    t, ev.TABLE_EXCHANGE, node=node.nid, landmark=station.lid,
+                    kind="backward_report", origin=report.observer,
+                    n_entries=report.n_entries,
+                )
+        if prof is not None:
+            prof.add("router.table_exchange", perf_counter() - t_start)
 
     # -- forwarding core ---------------------------------------------------------------
     def _handover_from_node(
         self, world: World, node: MobileNode, station: LandmarkStation, t: float
     ) -> None:
         """IV-D.1: upload carried packets when this landmark reduces delay."""
+        prof = self._prof
+        t_start = perf_counter() if prof is not None else 0.0
         st = self._stations[station.lid]
         ns = self._nodes[node.nid]
         uploaded = 0
@@ -285,6 +350,11 @@ class DTNFlowProtocol(RoutingProtocol):
             if upload:
                 if world.node_to_station(node, station, p):
                     uploaded += 1
+                    if ns.dead_ended and world.obs_enabled:
+                        world.events.emit(
+                            t, ev.DEADEND_REROUTE, packet=p.pid,
+                            node=node.nid, landmark=station.lid,
+                        )
                     if p.in_flight:
                         self._stamp_at_station(world, station, p)
                         if self.config.enable_load_balance:
@@ -296,6 +366,8 @@ class DTNFlowProtocol(RoutingProtocol):
                             # becomes responsible for the packet
                             p.meta.pop(META_NEXT_HOP, None)
                             p.meta.pop(META_EXPECTED_DELAY, None)
+        if prof is not None:
+            prof.add("router.handover", perf_counter() - t_start)
 
     def _forward_station_packets(
         self, world: World, station: LandmarkStation, t: float
@@ -304,6 +376,8 @@ class DTNFlowProtocol(RoutingProtocol):
         nodes = world.connected_nodes(station)
         if not nodes:
             return
+        prof = self._prof
+        t_start = perf_counter() if prof is not None else 0.0
         st = self._stations[station.lid]
         self._refresh_direct_links(st, t)
         table = st.table
@@ -385,6 +459,8 @@ class DTNFlowProtocol(RoutingProtocol):
             p.meta[META_ASSIGNED_BY] = station.lid
             if world.station_to_node(station, best, p):
                 st.load.record_carried_out(next_hop, t)
+        if prof is not None:
+            prof.add("router.carrier_selection", perf_counter() - t_start)
 
     # -- protocol hooks -----------------------------------------------------------------
     def on_visit_start(
@@ -397,7 +473,16 @@ class DTNFlowProtocol(RoutingProtocol):
 
         # prediction-accuracy bookkeeping (IV-D.4)
         if arrived_by_transit and ns.predicted is not None:
-            ns.acc.record(ns.predicted == station.lid)
+            correct = ns.predicted == station.lid
+            ns.acc.record(correct)
+            if world.obs_enabled:
+                world.events.emit(
+                    t,
+                    ev.PREDICTOR_HIT if correct else ev.PREDICTOR_MISS,
+                    node=node.nid,
+                    landmark=station.lid,
+                    predicted=ns.predicted,
+                )
 
         # bandwidth measurement (IV-C.1)
         if arrived_by_transit:

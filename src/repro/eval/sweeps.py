@@ -9,7 +9,7 @@ figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import PAPER_PROTOCOLS
 from repro.eval.config import MEMORY_SWEEP_KB, RATE_SWEEP, TraceProfile
@@ -27,6 +27,9 @@ class SweepResult:
     values: Tuple[float, ...]
     #: protocol -> metric -> series aligned with ``values``
     series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    #: protocol -> per-point run provenance dicts aligned with ``values``
+    #: (config, seed, package version — makes exported JSON self-describing)
+    provenance: Dict[str, List[Optional[dict]]] = field(default_factory=dict)
 
     METRICS = ("success_rate", "avg_delay", "forwarding_cost", "total_cost")
 
@@ -38,6 +41,10 @@ class SweepResult:
         rec["avg_delay"].append(summary.avg_delay)
         rec["forwarding_cost"].append(float(summary.forwarding_ops))
         rec["total_cost"].append(float(summary.total_cost))
+        prov = getattr(summary, "provenance", None)
+        self.provenance.setdefault(protocol, []).append(
+            prov.as_dict() if prov is not None else None
+        )
 
     def metric_table(self, metric: str) -> str:
         """Render one metric panel as an ASCII table (a paper sub-figure)."""
@@ -59,6 +66,16 @@ class SweepResult:
         return {
             p: sum(series[metric]) / len(series[metric])
             for p, series in self.series.items()
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-shaped export: series plus per-point run provenance."""
+        return {
+            "trace": self.trace,
+            "parameter": self.parameter,
+            "values": list(self.values),
+            "series": {p: dict(m) for p, m in self.series.items()},
+            "provenance": {p: list(v) for p, v in self.provenance.items()},
         }
 
 

@@ -1,0 +1,51 @@
+"""repro.obs — simulation observability: tracing, metrics, profiling.
+
+Four pieces, bundled per-run by :class:`Observability`:
+
+* :mod:`repro.obs.events` — typed packet-lifecycle and routing-control
+  event tracing with a ring buffer and JSONL export;
+* :mod:`repro.obs.registry` — named counters/gauges/histograms protocols
+  register into instead of ad-hoc dicts;
+* :mod:`repro.obs.profiler` — ``perf_counter`` phase timers (where does
+  the wall-clock go?);
+* :mod:`repro.obs.provenance` — config/seed/version stamps making result
+  rows self-describing.
+
+See docs/observability.md for the event taxonomy and CLI usage
+(``repro trace``, ``repro stats``).
+"""
+
+from repro.obs import events as event_types
+from repro.obs.events import (
+    ALL_EVENTS,
+    CONTROL_EVENTS,
+    NULL_LOG,
+    PACKET_EVENTS,
+    TERMINAL_EVENTS,
+    Event,
+    EventLog,
+)
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.provenance import RunProvenance, package_version
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import Observability, ObsConfig
+
+__all__ = [
+    "ALL_EVENTS",
+    "CONTROL_EVENTS",
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_LOG",
+    "ObsConfig",
+    "Observability",
+    "PACKET_EVENTS",
+    "PhaseProfiler",
+    "RunProvenance",
+    "TERMINAL_EVENTS",
+    "event_types",
+    "package_version",
+]

@@ -1,0 +1,74 @@
+"""Phase profiling: where does a simulation's wall-clock time go?
+
+The engine and protocols bracket their coarse phases with
+``perf_counter``-based timers.  Phases are hierarchy-free accumulators:
+``dispatch.visit_start`` includes the protocol hooks it triggers, so the
+router's ``router.carrier_selection`` seconds are a *subset* of it, not a
+sibling (documented in docs/observability.md).
+
+Two usage styles:
+
+* hot loops call :meth:`PhaseProfiler.add` with a precomputed delta (two
+  ``perf_counter`` calls, no context-manager overhead);
+* everything else uses ``with profiler.phase("name"):``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Tuple
+
+
+class PhaseProfiler:
+    """Accumulates (seconds, calls) per named phase."""
+
+    __slots__ = ("enabled", "_seconds", "_calls")
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def add(self, phase: str, dt: float, calls: int = 1) -> None:
+        """Fold ``dt`` seconds (over ``calls`` invocations) into ``phase``."""
+        if not self.enabled:
+            return
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + dt
+        self._calls[phase] = self._calls.get(phase, 0) + calls
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        if not self.enabled:
+            yield
+            return
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - t0)
+
+    # -- queries -----------------------------------------------------------------
+    def seconds(self, phase: str) -> float:
+        return self._seconds.get(phase, 0.0)
+
+    def calls(self, phase: str) -> int:
+        return self._calls.get(phase, 0)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {"seconds": s, "calls": n}}``, sorted by seconds desc."""
+        return {
+            name: {"seconds": self._seconds[name], "calls": self._calls.get(name, 0)}
+            for name in sorted(self._seconds, key=self._seconds.get, reverse=True)
+        }
+
+    def rows(self) -> List[Tuple[str, str, int]]:
+        """``(phase, seconds, calls)`` rows for table printing."""
+        return [
+            (name, f"{self._seconds[name]:.4f}", self._calls.get(name, 0))
+            for name in sorted(self._seconds, key=self._seconds.get, reverse=True)
+        ]
+
+    def clear(self) -> None:
+        self._seconds.clear()
+        self._calls.clear()

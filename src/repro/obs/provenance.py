@@ -1,0 +1,73 @@
+"""Run provenance: make every result row self-describing.
+
+A :class:`RunProvenance` pins down *what produced a number*: the protocol,
+the trace, the workload seed, the full simulation config, and the package
+and Python versions.  Benchmark JSON that carries it can be re-run months
+later without archaeology through shell history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+def package_version() -> str:
+    """The repro package version (lazy import to avoid a cycle)."""
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - broken install only
+        return "unknown"
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce config values into JSON-serialisable shapes."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class RunProvenance:
+    """Everything needed to reproduce (or audit) one simulation run."""
+
+    protocol: str
+    trace: str
+    seed: int
+    config: Dict[str, Any] = field(default_factory=dict)
+    package_version: str = field(default_factory=package_version)
+    python_version: str = field(default_factory=platform.python_version)
+
+    @classmethod
+    def from_run(cls, protocol: str, trace: str, config: Any) -> "RunProvenance":
+        """Build provenance from a protocol name, trace name and SimConfig."""
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            cfg = _jsonable(dataclasses.asdict(config))
+            seed = getattr(config, "seed", 0)
+        elif isinstance(config, dict):
+            cfg = _jsonable(config)
+            seed = int(cfg.get("seed", 0) or 0)
+        else:
+            cfg = {"repr": repr(config)}
+            seed = 0
+        return cls(protocol=protocol, trace=trace, seed=int(seed), config=cfg)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "trace": self.trace,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+        }

@@ -1,0 +1,170 @@
+"""A metrics registry: named counters, gauges and histograms.
+
+Protocols and the engine register metrics here instead of keeping ad-hoc
+dicts: the registry gives every number a stable name, a kind, and a single
+export path (``as_dict`` / ``rows``), so ``repro stats`` and benchmark JSON
+can report *all* instrumentation without knowing each protocol's internals.
+
+Naming convention: dotted lowercase families, with entity ids in square
+brackets — e.g. ``packets.generated``, ``landmark.queue_depth[3]``,
+``bw.out[2->5]``.  Instruments are get-or-create: asking twice for the same
+name returns the same object (asking with a different kind raises).
+
+Instruments are deliberately minimal (plain attribute updates, no locks —
+the simulator is single-threaded) so that updating one costs no more than
+an attribute increment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, EWMA estimate, ...)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max, mean.
+
+    Kept O(1) in memory — no buckets or reservoirs — because per-event
+    updates run inside the simulation hot path.  When a full distribution
+    is needed, trace the underlying events instead.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.4g})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls) -> Instrument:
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {m.kind}, "
+                f"requested {cls.kind}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # -- queries -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._metrics.values())
+
+    def get(self, name: str) -> Union[Instrument, None]:
+        return self._metrics.get(name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Every metric's value, keyed by name (histograms as sub-dicts)."""
+        out: Dict[str, object] = {}
+        for name, m in sorted(self._metrics.items()):
+            out[name] = m.as_dict() if isinstance(m, Histogram) else m.value
+        return out
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """``(name, kind, rendered value)`` rows for table printing."""
+        rows = []
+        for name, m in sorted(self._metrics.items()):
+            if isinstance(m, Histogram):
+                if m.count:
+                    val = (
+                        f"n={m.count} mean={m.mean:.4g} "
+                        f"min={m.min:.4g} max={m.max:.4g}"
+                    )
+                else:
+                    val = "n=0"
+            elif isinstance(m, Gauge):
+                val = f"{m.value:.6g}"
+            else:
+                val = str(m.value)
+            rows.append((name, m.kind, val))
+        return rows

@@ -1,0 +1,83 @@
+"""The observability context threaded through a simulation run.
+
+One :class:`Observability` object bundles the three instruments —
+:class:`~repro.obs.events.EventLog`,
+:class:`~repro.obs.registry.MetricsRegistry` and
+:class:`~repro.obs.profiler.PhaseProfiler` — behind a single master switch:
+
+* ``enabled=False`` (the default): no events are recorded and the detailed
+  per-entity registry metrics (queue-depth gauges, bandwidth gauges,
+  predictor counters, buffer-occupancy histograms) are skipped entirely.
+  Core experiment counters (via :class:`~repro.sim.metrics.MetricsCollector`)
+  and the cheap phase timers stay on.
+* ``enabled=True``: the full event taxonomy is traced into the ring buffer
+  and protocols feed the detailed registry metrics.
+
+The engine caches ``obs.enabled`` on the :class:`~repro.sim.engine.World`
+(as ``world.obs_enabled``) so hot paths pay one attribute check, not an
+object graph walk, when observability is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+
+
+@dataclass
+class ObsConfig:
+    """Observability knobs for one simulation run."""
+
+    #: master switch: event tracing + detailed registry metrics
+    enabled: bool = False
+    #: event ring-buffer capacity (oldest events evicted beyond this)
+    event_capacity: int = 200_000
+    #: phase timers (cheap: two perf_counter calls per phase entry)
+    profile: bool = True
+
+    def __post_init__(self) -> None:
+        if self.event_capacity <= 0:
+            raise ValueError(
+                f"event_capacity must be positive, got {self.event_capacity}"
+            )
+
+
+class Observability:
+    """Event log + metrics registry + phase profiler for one run."""
+
+    __slots__ = ("config", "events", "registry", "profiler")
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config or ObsConfig()
+        self.events = EventLog(
+            capacity=self.config.event_capacity, enabled=self.config.enabled
+        )
+        self.registry = MetricsRegistry()
+        self.profiler = PhaseProfiler(enabled=self.config.profile)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether detailed tracing/metrics are on (the master switch)."""
+        return self.config.enabled
+
+    @classmethod
+    def tracing(cls, *, event_capacity: int = 200_000, profile: bool = True) -> "Observability":
+        """Convenience constructor with tracing fully enabled."""
+        return cls(ObsConfig(enabled=True, event_capacity=event_capacity, profile=profile))
+
+    def stats_dict(self) -> Dict[str, object]:
+        """Registry metrics + phase timings + event counts, JSON-shaped."""
+        return {
+            "metrics": self.registry.as_dict(),
+            "phase_timings": self.profiler.report(),
+            "events": {
+                "recorded": len(self.events),
+                "emitted": self.events.n_emitted,
+                "evicted": self.events.n_evicted,
+                "by_type": self.events.counts_by_type(),
+            },
+        }

@@ -24,11 +24,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mobility.trace import SECONDS_PER_DAY, Trace, days
+from repro.obs import event_types as ev
+from repro.obs.provenance import RunProvenance
+from repro.obs.runtime import Observability
 from repro.sim.entities import LandmarkStation, MobileNode
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.packets import GenerationEvent, Packet, PacketFactory, generate_workload
@@ -104,15 +108,22 @@ class SimConfig:
 class World:
     """Mutable simulation state shared between the engine and the protocol."""
 
-    def __init__(self, trace: Trace, config: SimConfig) -> None:
+    def __init__(
+        self, trace: Trace, config: SimConfig, obs: Optional[Observability] = None
+    ) -> None:
         self.trace = trace
         self.config = config
         self.rng = np.random.default_rng(config.seed)
         self.now: float = trace.start_time
         self.t_end: float = trace.end_time
+        #: observability context; hot paths guard on the cached flag below
+        self.obs = obs if obs is not None else Observability()
+        self.obs_enabled = self.obs.enabled
+        self.events = self.obs.events
         self.metrics = MetricsCollector(
             table_entry_unit=config.table_entry_unit,
             experiment_duration=trace.duration,
+            registry=self.obs.registry,
         )
         self.nodes: Dict[int, MobileNode] = {
             n: MobileNode(n, config.node_memory_bytes) for n in trace.nodes
@@ -147,6 +158,13 @@ class World:
                 if p.pid not in self._dropped_pids:
                     self._dropped_pids.add(p.pid)
                     n_real += 1
+                    if self.obs_enabled:
+                        self.events.emit(
+                            self.now, ev.DROPPED_TTL, packet=p.pid,
+                            node=getattr(holder, "nid", None),
+                            landmark=getattr(holder, "lid", None),
+                            age=self.now - p.created,
+                        )
         if n_real:
             self.metrics.on_dropped_ttl(n_real)
 
@@ -177,6 +195,12 @@ class World:
         if packet.pid not in self._delivered_pids:
             self._delivered_pids.add(packet.pid)
             self.metrics.on_delivered(self.now - packet.created, packet.dst)
+            if self.obs_enabled:
+                self.events.emit(
+                    self.now, ev.DELIVERED, packet=packet.pid,
+                    landmark=packet.dst, delay=self.now - packet.created,
+                    hops=packet.hops,
+                )
 
     def claim_delivery(self, packet: Packet) -> bool:
         """Mark ``packet`` delivered now; returns False for a replica whose
@@ -208,12 +232,22 @@ class World:
             if packet.in_flight:
                 packet.hops += 1
                 self.metrics.on_forward()
+                if self.obs_enabled:
+                    self.events.emit(
+                        self.now, ev.UPLINKED, packet=packet.pid,
+                        node=node.nid, landmark=station.lid,
+                    )
                 self._deliver(packet)
             # an already-delivered replica is simply discarded
         else:
             packet.hops += 1
             self.metrics.on_forward()
             station.buffer.add(packet)
+            if self.obs_enabled:
+                self.events.emit(
+                    self.now, ev.UPLINKED, packet=packet.pid,
+                    node=node.nid, landmark=station.lid,
+                )
         return True
 
     def station_to_node(
@@ -223,6 +257,11 @@ class World:
         if packet.pid not in station.buffer:
             return False
         if not node.buffer.can_accept(packet):
+            if self.obs_enabled:
+                self.events.emit(
+                    self.now, ev.DROPPED_BUFFER, packet=packet.pid,
+                    node=node.nid, landmark=station.lid,
+                )
             return False
         if not self._charge_link(node, packet.size):
             return False
@@ -230,6 +269,11 @@ class World:
         node.buffer.add(packet)
         packet.hops += 1
         self.metrics.on_forward()
+        if self.obs_enabled:
+            self.events.emit(
+                self.now, ev.FORWARDED, packet=packet.pid,
+                node=node.nid, landmark=station.lid,
+            )
         return True
 
     def node_to_node(self, src: MobileNode, dst: MobileNode, packet: Packet) -> bool:
@@ -237,11 +281,21 @@ class World:
         if packet.pid not in src.buffer:
             return False
         if not dst.buffer.can_accept(packet):
+            if self.obs_enabled:
+                self.events.emit(
+                    self.now, ev.DROPPED_BUFFER, packet=packet.pid,
+                    node=dst.nid, holder=src.nid,
+                )
             return False
         src.buffer.remove(packet.pid)
         dst.buffer.add(packet)
         packet.hops += 1
         self.metrics.on_forward()
+        if self.obs_enabled:
+            self.events.emit(
+                self.now, ev.HANDOVER, packet=packet.pid,
+                node=dst.nid, holder=src.nid,
+            )
         return True
 
 
@@ -312,13 +366,15 @@ class Simulation:
         protocol: RoutingProtocol,
         config: SimConfig,
         probes: Optional[Sequence[Tuple[float, object]]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if trace.n_landmarks < 2:
             raise ValueError("need at least two landmarks to route between")
         self.trace = trace
         self.protocol = protocol
         self.config = config
-        self.world = World(trace, config)
+        self.world = World(trace, config, obs=obs)
+        self.obs = self.world.obs
         self.factory = PacketFactory(
             ttl=config.ttl,
             size=config.packet_size,
@@ -394,6 +450,11 @@ class Simulation:
         world.drop_expired_in(node)
         world.drop_expired_in(station)
 
+        if world.obs_enabled:
+            reg = world.obs.registry
+            reg.gauge(f"landmark.queue_depth[{station.lid}]").set(len(station.buffer))
+            reg.histogram("node.buffer_occupancy").observe(node.buffer_occupancy)
+
         # automatic delivery: the carrier reached a destination landmark
         for p in node.buffer.packets_for(station.lid):
             world.node_to_station(node, station, p)
@@ -416,35 +477,88 @@ class Simulation:
             self.world.drop_expired_in(node)
             self._end_visit(node, t)
 
-    def _handle_generation(self, ev: GenerationEvent, t: float) -> None:
+    def _handle_generation(self, gen: GenerationEvent, t: float) -> None:
         world = self.world
-        station = world.stations[ev.src]
-        packet = self.factory.create(src=ev.src, dst=ev.dst, now=t)
+        station = world.stations[gen.src]
+        packet = self.factory.create(src=gen.src, dst=gen.dst, now=t)
         world.metrics.on_generated()
         station.buffer.add(packet)
+        if world.obs_enabled:
+            world.events.emit(
+                t, ev.GENERATED, packet=packet.pid, landmark=gen.src, dst=gen.dst
+            )
         world.drop_expired_in(station)
         self.protocol.on_packet_generated(world, station, packet, t)
 
     # -- main loop -----------------------------------------------------------------
+    #: phase names indexed by event kind, for the dispatch timers
+    _DISPATCH_PHASES = (
+        "dispatch.visit_end",
+        "dispatch.packet_gen",
+        "dispatch.visit_start",
+        "dispatch.probe",
+    )
+
     def run(self) -> MetricsSummary:
-        self.protocol.setup(self.world)
-        for t, kind, _, payload in self._events():
-            self.world.now = t
-            if kind == _VISIT_START:
-                self._handle_visit_start(payload, t)
-            elif kind == _VISIT_END:
-                self._handle_visit_end(payload, t)
-            elif kind == _PACKET_GEN:
-                self._handle_generation(payload, t)
-            else:
-                payload(self.world)
-        self.world.now = self.trace.end_time
-        self.protocol.finalize(self.world)
-        return self.world.metrics.summary(self.protocol.name, self.trace.name)
+        prof = self.obs.profiler
+        with prof.phase("setup"):
+            self.protocol.setup(self.world)
+        t0 = perf_counter()
+        events = self._events()
+        prof.add("event_assembly", perf_counter() - t0)
+
+        # the event dispatch loop is the hot path: inline perf_counter pairs
+        # accumulated in local lists (folded into the profiler once at the
+        # end) keep the per-event timing cost to two clock reads
+        handlers = (
+            self._handle_visit_end,
+            self._handle_generation,
+            self._handle_visit_start,
+        )
+        world = self.world
+        if prof.enabled:
+            acc = [0.0, 0.0, 0.0, 0.0]
+            cnt = [0, 0, 0, 0]
+            for t, kind, _, payload in events:
+                world.now = t
+                t0 = perf_counter()
+                if kind == _PROBE:
+                    payload(world)
+                else:
+                    handlers[kind](payload, t)
+                acc[kind] += perf_counter() - t0
+                cnt[kind] += 1
+            for kind, phase in enumerate(self._DISPATCH_PHASES):
+                if cnt[kind]:
+                    prof.add(phase, acc[kind], cnt[kind])
+        else:
+            for t, kind, _, payload in events:
+                world.now = t
+                if kind == _PROBE:
+                    payload(world)
+                else:
+                    handlers[kind](payload, t)
+
+        world.now = self.trace.end_time
+        with prof.phase("finalize"):
+            self.protocol.finalize(world)
+        provenance = RunProvenance.from_run(
+            self.protocol.name, self.trace.name, self.config
+        )
+        return world.metrics.summary(
+            self.protocol.name,
+            self.trace.name,
+            provenance=provenance,
+            phase_timings=prof.report() if prof.enabled else None,
+        )
 
 
 def run_simulation(
-    trace: Trace, protocol: RoutingProtocol, config: Optional[SimConfig] = None
+    trace: Trace,
+    protocol: RoutingProtocol,
+    config: Optional[SimConfig] = None,
+    *,
+    obs: Optional[Observability] = None,
 ) -> MetricsSummary:
     """One-call convenience wrapper around :class:`Simulation`."""
-    return Simulation(trace, protocol, config or SimConfig()).run()
+    return Simulation(trace, protocol, config or SimConfig(), obs=obs).run()

@@ -14,14 +14,24 @@ The four reported metrics:
 
 ``overall_avg_delay`` implements the Table VII convention: unsuccessful
 packets are charged the full experiment duration.
+
+The collector sits on top of a :class:`~repro.obs.registry.MetricsRegistry`:
+each headline counter is a registered instrument (``packets.generated``,
+``packets.delivered``, ...), so ``repro stats`` and any protocol-registered
+metrics share one namespace and one export path.  The public API
+(``on_generated``/``on_forward``/... and the int-valued attributes) is
+unchanged.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.obs.provenance import RunProvenance
+from repro.obs.registry import MetricsRegistry
 from repro.utils.quantiles import FiveNumberSummary, five_number_summary
 from repro.utils.validation import require_positive
 
@@ -42,6 +52,14 @@ class MetricsSummary:
     overall_avg_delay: float
     total_cost: int
     delay_summary: Optional[FiveNumberSummary] = None
+    #: config/seed/version stamp making the row self-describing (run
+    #: provenance); None for hand-built summaries
+    provenance: Optional[RunProvenance] = None
+    #: wall-clock seconds per engine phase for this run (PhaseProfiler);
+    #: excluded from equality — identical runs differ in wall-clock
+    phase_timings: Optional[Dict[str, Dict[str, float]]] = field(
+        default=None, compare=False
+    )
 
     def as_row(self) -> tuple:
         return (
@@ -54,43 +72,119 @@ class MetricsSummary:
             self.total_cost,
         )
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-shaped dict of every metric plus provenance."""
+        out: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "trace": self.trace,
+            "generated": self.generated,
+            "delivered": self.delivered,
+            "dropped_ttl": self.dropped_ttl,
+            "forwarding_ops": self.forwarding_ops,
+            "maintenance_ops": self.maintenance_ops,
+            "success_rate": self.success_rate,
+            "avg_delay": self.avg_delay,
+            "overall_avg_delay": self.overall_avg_delay,
+            "total_cost": self.total_cost,
+        }
+        if self.delay_summary is not None:
+            s = self.delay_summary
+            out["delay_summary"] = {
+                "min": s.minimum, "q1": s.q1, "mean": s.mean,
+                "q3": s.q3, "max": s.maximum,
+            }
+        if self.provenance is not None:
+            out["provenance"] = self.provenance.as_dict()
+        if self.phase_timings is not None:
+            out["phase_timings"] = self.phase_timings
+        return out
+
 
 class MetricsCollector:
-    """Mutable counters updated by the simulation world."""
+    """Mutable counters updated by the simulation world.
 
-    def __init__(self, *, table_entry_unit: int = 10, experiment_duration: float = 0.0) -> None:
+    Parameters
+    ----------
+    table_entry_unit:
+        Divisor for table-exchange maintenance cost.
+    experiment_duration:
+        Span failures are charged in :attr:`overall_avg_delay` (Table VII).
+        Leaving it at 0.0 while failures exist makes that metric charge
+        failures *nothing* — a warning is issued (or :class:`ValueError`
+        raised with ``strict=True``) when that happens.
+    registry:
+        The :class:`MetricsRegistry` to register the headline counters in;
+        a private registry is created when omitted.
+    strict:
+        Raise instead of warning on the zero-duration condition above.
+    """
+
+    def __init__(
+        self,
+        *,
+        table_entry_unit: int = 10,
+        experiment_duration: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+        strict: bool = False,
+    ) -> None:
         require_positive("table_entry_unit", table_entry_unit)
         self.table_entry_unit = int(table_entry_unit)
         self.experiment_duration = float(experiment_duration)
-        self.generated = 0
-        self.delivered = 0
-        self.dropped_ttl = 0
-        self.forwarding_ops = 0
-        self.maintenance_ops = 0
+        self.strict = bool(strict)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._generated = self.registry.counter("packets.generated")
+        self._delivered = self.registry.counter("packets.delivered")
+        self._dropped_ttl = self.registry.counter("packets.dropped_ttl")
+        self._forwarding = self.registry.counter("ops.forwarding")
+        self._maintenance = self.registry.counter("ops.maintenance")
+        self._delay_hist = self.registry.histogram("delivery.delay")
         self.delays: List[float] = []
         #: per-landmark delivered counts (used by the deployment analysis)
         self.delivered_by_dst: Dict[int, int] = {}
+        self._warned_zero_duration = False
+
+    # -- registry-backed counters ------------------------------------------------
+    @property
+    def generated(self) -> int:
+        return self._generated.value
+
+    @property
+    def delivered(self) -> int:
+        return self._delivered.value
+
+    @property
+    def dropped_ttl(self) -> int:
+        return self._dropped_ttl.value
+
+    @property
+    def forwarding_ops(self) -> int:
+        return self._forwarding.value
+
+    @property
+    def maintenance_ops(self) -> int:
+        return self._maintenance.value
 
     # -- event hooks ------------------------------------------------------------
     def on_generated(self) -> None:
-        self.generated += 1
+        self._generated.inc()
 
     def on_forward(self, n: int = 1) -> None:
-        self.forwarding_ops += n
+        self._forwarding.inc(n)
 
     def on_table_exchange(self, n_entries: int) -> None:
         """Count the cost of shipping a table with ``n_entries`` rows."""
         if n_entries <= 0:
             return
-        self.maintenance_ops += math.ceil(n_entries / self.table_entry_unit)
+        self._maintenance.inc(math.ceil(n_entries / self.table_entry_unit))
 
     def on_delivered(self, delay: float, dst: int) -> None:
-        self.delivered += 1
+        self._delivered.inc()
         self.delays.append(delay)
+        self._delay_hist.observe(delay)
         self.delivered_by_dst[dst] = self.delivered_by_dst.get(dst, 0) + 1
 
     def on_dropped_ttl(self, n: int = 1) -> None:
-        self.dropped_ttl += n
+        self._dropped_ttl.inc(n)
 
     # -- summary -------------------------------------------------------------------
     @property
@@ -103,17 +197,40 @@ class MetricsCollector:
 
     @property
     def overall_avg_delay(self) -> float:
-        """Average over *all* packets, failures charged the experiment time."""
+        """Average over *all* packets, failures charged the experiment time.
+
+        With ``experiment_duration`` unset (0.0) the charge for a failed
+        packet is zero, which silently *understates* the metric; that
+        condition warns once (or raises under ``strict=True``).
+        """
         if not self.generated:
             return 0.0
         failed = self.generated - self.delivered
+        if failed > 0 and self.experiment_duration <= 0.0:
+            msg = (
+                f"overall_avg_delay: {failed} failed packet(s) charged a "
+                "zero experiment_duration — the metric understates delay; "
+                "pass experiment_duration to MetricsCollector"
+            )
+            if self.strict:
+                raise ValueError(msg)
+            if not self._warned_zero_duration:
+                self._warned_zero_duration = True
+                warnings.warn(msg, RuntimeWarning, stacklevel=2)
         return (sum(self.delays) + failed * self.experiment_duration) / self.generated
 
     @property
     def total_cost(self) -> int:
         return self.forwarding_ops + self.maintenance_ops
 
-    def summary(self, protocol: str, trace: str) -> MetricsSummary:
+    def summary(
+        self,
+        protocol: str,
+        trace: str,
+        *,
+        provenance: Optional[RunProvenance] = None,
+        phase_timings: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> MetricsSummary:
         return MetricsSummary(
             protocol=protocol,
             trace=trace,
@@ -127,4 +244,6 @@ class MetricsCollector:
             overall_avg_delay=self.overall_avg_delay,
             total_cost=self.total_cost,
             delay_summary=five_number_summary(self.delays) if self.delays else None,
+            provenance=provenance,
+            phase_timings=phase_timings,
         )

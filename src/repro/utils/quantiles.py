@@ -50,6 +50,12 @@ def five_number_summary(values: Iterable[float]) -> FiveNumberSummary:
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarise an empty sample")
+    if arr.size == 1:
+        # degenerate sample (e.g. a short traced run delivering one packet):
+        # every statistic collapses to the single value, and skipping the
+        # percentile machinery avoids its edge cases on tiny inputs
+        v = float(arr[0])
+        return FiveNumberSummary(minimum=v, q1=v, mean=v, q3=v, maximum=v)
     return FiveNumberSummary(
         minimum=float(arr.min()),
         q1=float(np.percentile(arr, 25)),

@@ -1,0 +1,287 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.obs import (
+    Event,
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    ObsConfig,
+    PhaseProfiler,
+    RunProvenance,
+    event_types as ev,
+)
+from repro.sim.engine import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.utils.quantiles import five_number_summary
+
+
+class TestEventLog:
+    def test_emit_and_len(self):
+        log = EventLog(capacity=10)
+        log.emit(1.0, ev.GENERATED, packet=0, landmark=3, dst=7)
+        log.emit(2.0, ev.DELIVERED, packet=0, landmark=7, delay=1.0)
+        assert len(log) == 2
+        assert log.n_emitted == 2
+        assert log.n_evicted == 0
+        first = next(iter(log))
+        assert first.etype == ev.GENERATED
+        assert first.data == {"dst": 7}
+
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(capacity=10, enabled=False)
+        log.emit(1.0, ev.GENERATED, packet=0)
+        assert len(log) == 0
+        assert log.n_emitted == 0
+
+    def test_ring_buffer_eviction(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit(float(i), ev.FORWARDED, packet=i)
+        assert len(log) == 3
+        assert log.n_emitted == 5
+        assert log.n_evicted == 2
+        # the oldest two were evicted
+        assert [e.packet for e in log] == [2, 3, 4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_select_filters_conjunctively(self):
+        log = EventLog(capacity=100)
+        log.emit(1.0, ev.GENERATED, packet=0, landmark=1)
+        log.emit(2.0, ev.FORWARDED, packet=0, node=5, landmark=1)
+        log.emit(3.0, ev.FORWARDED, packet=1, node=6, landmark=2)
+        log.emit(4.0, ev.DELIVERED, packet=0, landmark=9)
+        assert len(log.select(etypes=[ev.FORWARDED])) == 2
+        assert len(log.select(etypes=[ev.FORWARDED], packet=0)) == 1
+        assert len(log.select(node=6)) == 1
+        assert len(log.select(t_min=2.0, t_max=3.0)) == 2
+        assert len(log.select(landmark=1)) == 2
+
+    def test_packet_journey_and_delivered(self):
+        log = EventLog(capacity=100)
+        log.emit(1.0, ev.GENERATED, packet=7, landmark=0)
+        log.emit(2.0, ev.TABLE_EXCHANGE, landmark=0, n_entries=4)
+        log.emit(3.0, ev.FORWARDED, packet=7, node=1, landmark=0)
+        log.emit(4.0, ev.DELIVERED, packet=7, landmark=2)
+        journey = log.packet_journey(7)
+        assert [e.etype for e in journey] == [ev.GENERATED, ev.FORWARDED, ev.DELIVERED]
+        assert log.delivered_packets() == [7]
+        assert log.counts_by_type()[ev.FORWARDED] == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog(capacity=100)
+        log.emit(1.5, ev.GENERATED, packet=0, landmark=3, dst=7)
+        log.emit(9.0, ev.DROPPED_TTL, packet=0, node=2)
+        path = tmp_path / "events.jsonl"
+        assert log.to_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        recs = [json.loads(line) for line in lines]
+        assert recs[0] == {"t": 1.5, "event": "generated", "packet": 0,
+                           "landmark": 3, "dst": 7}
+        assert recs[1]["event"] == "dropped_ttl"
+        assert list(log.jsonl_lines()) == lines
+
+    def test_taxonomy_partitions(self):
+        assert ev.ALL_EVENTS == ev.PACKET_EVENTS | ev.CONTROL_EVENTS
+        assert not (ev.PACKET_EVENTS & ev.CONTROL_EVENTS)
+        assert ev.TERMINAL_EVENTS <= ev.PACKET_EVENTS
+
+    def test_event_as_dict_omits_missing_fields(self):
+        e = Event(2.0, ev.BW_UPDATE, None, None, 4, None)
+        assert e.as_dict() == {"t": 2.0, "event": "bw_update", "landmark": 4}
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        c = reg.counter("packets.generated")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        g = reg.gauge("landmark.queue_depth[3]")
+        g.set(7.0)
+        assert g.value == 7.0
+        h = reg.histogram("delivery.delay")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == 2.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.as_dict()["sum"] == 6.0
+
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert len(reg) == 1
+        assert "x" in reg
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_empty_histogram_as_dict(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        assert h.as_dict() == {"count": 0, "sum": 0.0, "min": 0.0,
+                               "max": 0.0, "mean": 0.0}
+
+    def test_as_dict_and_rows(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.5)
+        d = reg.as_dict()
+        assert d == {"a": 1.5, "b": 2}
+        rows = reg.rows()
+        assert [r[0] for r in rows] == ["a", "b"]  # sorted by name
+        assert rows[1][1] == "counter"
+
+
+class TestPhaseProfiler:
+    def test_add_and_report(self):
+        prof = PhaseProfiler()
+        prof.add("hot", 0.5, calls=10)
+        prof.add("hot", 0.5, calls=10)
+        prof.add("cold", 0.1)
+        assert prof.seconds("hot") == 1.0
+        assert prof.calls("hot") == 20
+        report = prof.report()
+        assert list(report) == ["hot", "cold"]  # sorted by seconds desc
+        assert report["cold"] == {"seconds": 0.1, "calls": 1}
+
+    def test_context_manager(self):
+        prof = PhaseProfiler()
+        with prof.phase("block"):
+            pass
+        assert prof.calls("block") == 1
+        assert prof.seconds("block") >= 0.0
+
+    def test_disabled_profiler_accumulates_nothing(self):
+        prof = PhaseProfiler(enabled=False)
+        prof.add("x", 1.0)
+        with prof.phase("y"):
+            pass
+        assert prof.report() == {}
+
+    def test_clear(self):
+        prof = PhaseProfiler()
+        prof.add("x", 1.0)
+        prof.clear()
+        assert prof.report() == {}
+
+
+class TestProvenance:
+    def test_from_sim_config(self):
+        cfg = SimConfig(seed=42)
+        prov = RunProvenance.from_run("DTN-FLOW", "dart", cfg)
+        assert prov.seed == 42
+        assert prov.protocol == "DTN-FLOW"
+        assert prov.config["seed"] == 42
+        d = prov.as_dict()
+        json.dumps(d)  # must be JSON-serialisable
+        assert d["package_version"] == prov.package_version != "unknown"
+
+    def test_from_dict_and_opaque_config(self):
+        prov = RunProvenance.from_run("p", "t", {"seed": 3, "x": [1, 2]})
+        assert prov.seed == 3
+        assert prov.config["x"] == [1, 2]
+        opaque = RunProvenance.from_run("p", "t", object())
+        assert opaque.seed == 0
+        assert "repr" in opaque.config
+
+
+class TestObservability:
+    def test_default_is_disabled(self):
+        obs = Observability()
+        assert not obs.enabled
+        assert not obs.events.enabled
+        assert obs.profiler.enabled  # cheap phase timers stay on
+
+    def test_tracing_constructor(self):
+        obs = Observability.tracing(event_capacity=128)
+        assert obs.enabled
+        assert obs.events.capacity == 128
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ObsConfig(event_capacity=-1)
+
+    def test_stats_dict_shape(self):
+        obs = Observability.tracing()
+        obs.events.emit(1.0, ev.GENERATED, packet=0)
+        obs.registry.counter("c").inc()
+        obs.profiler.add("p", 0.1)
+        d = obs.stats_dict()
+        assert d["events"]["recorded"] == 1
+        assert d["events"]["by_type"] == {"generated": 1}
+        assert d["metrics"]["c"] == 1
+        assert "p" in d["phase_timings"]
+        json.dumps(d)
+
+
+class TestMetricsCollectorObs:
+    def test_counters_are_registry_backed(self):
+        mc = MetricsCollector()
+        mc.on_generated()
+        mc.on_forward(3)
+        mc.on_delivered(10.0, dst=2)
+        assert mc.generated == 1
+        assert mc.forwarding_ops == 3
+        assert mc.registry.counter("packets.generated").value == 1
+        assert mc.registry.histogram("delivery.delay").count == 1
+
+    def test_zero_duration_failures_warn_once(self):
+        mc = MetricsCollector()
+        mc.on_generated()
+        mc.on_generated()
+        mc.on_delivered(5.0, dst=1)
+        with pytest.warns(RuntimeWarning, match="zero experiment_duration"):
+            value = mc.overall_avg_delay
+        assert value == pytest.approx(2.5)  # failure silently charged 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            mc.overall_avg_delay  # warned once already; no second warning
+
+    def test_zero_duration_failures_raise_in_strict_mode(self):
+        mc = MetricsCollector(strict=True)
+        mc.on_generated()
+        with pytest.raises(ValueError, match="experiment_duration"):
+            mc.overall_avg_delay
+
+    def test_no_warning_with_duration_set(self):
+        mc = MetricsCollector(experiment_duration=100.0)
+        mc.on_generated()
+        mc.on_generated()
+        mc.on_delivered(10.0, dst=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert mc.overall_avg_delay == pytest.approx(55.0)
+
+    def test_no_warning_without_failures(self):
+        mc = MetricsCollector()
+        mc.on_generated()
+        mc.on_delivered(4.0, dst=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert mc.overall_avg_delay == pytest.approx(4.0)
+
+
+class TestFiveNumberSummarySingleSample:
+    def test_single_sample(self):
+        s = five_number_summary([7.5])
+        assert s.minimum == s.q1 == s.mean == s.q3 == s.maximum == 7.5
+
+    def test_two_samples_still_work(self):
+        s = five_number_summary([1.0, 3.0])
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.mean == 2.0

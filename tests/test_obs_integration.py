@@ -1,0 +1,130 @@
+"""Integration tests: observability threaded through real simulation runs."""
+
+import pytest
+
+from repro.baselines import make_protocol
+from repro.mobility.trace import days
+from repro.obs import EventLog, Observability, event_types as ev
+from repro.sim.engine import SimConfig, Simulation
+
+
+def _tiny_config() -> SimConfig:
+    """Same light workload as the tiny_sim_config fixture (module-scope
+    fixtures can't depend on function-scope ones)."""
+    return SimConfig(
+        ttl=days(5.0),
+        rate_per_landmark_per_day=200.0,
+        workload_scale=0.02,
+        time_unit=days(2.0),
+        seed=5,
+        contact_prob=0.3,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_run(dart_tiny):
+    """One fully traced DTN-FLOW run on the tiny DART trace."""
+    config = _tiny_config()
+    obs = Observability.tracing()
+    summary = Simulation(dart_tiny, make_protocol("DTN-FLOW"), config,
+                         obs=obs).run()
+    return dart_tiny, obs, summary
+
+
+class TestTracedRun:
+    def test_events_recorded(self, traced_run):
+        _, obs, summary = traced_run
+        counts = obs.events.counts_by_type()
+        assert counts.get(ev.GENERATED, 0) == summary.generated
+        assert counts.get(ev.DELIVERED, 0) == summary.delivered
+        assert counts.get(ev.DROPPED_TTL, 0) == summary.dropped_ttl
+
+    def test_delivered_packet_journey_is_causal(self, traced_run):
+        _, obs, _ = traced_run
+        log = obs.events
+        delivered = log.delivered_packets()
+        assert delivered, "expected at least one delivery on the tiny trace"
+        for pid in delivered[:20]:
+            journey = log.packet_journey(pid)
+            etypes = [e.etype for e in journey]
+            # born exactly once, first
+            assert etypes[0] == ev.GENERATED
+            assert etypes.count(ev.GENERATED) == 1
+            # dies exactly once, last
+            assert etypes[-1] == ev.DELIVERED
+            assert sum(t in ev.TERMINAL_EVENTS for t in etypes) == 1
+            # at least one movement between birth and death
+            assert set(etypes[1:-1]) & {ev.FORWARDED, ev.UPLINKED, ev.HANDOVER}
+            # nondecreasing simulation time
+            times = [e.t for e in journey]
+            assert times == sorted(times)
+
+    def test_registry_has_detailed_metrics(self, traced_run):
+        _, obs, summary = traced_run
+        reg = obs.registry
+        assert reg.counter("packets.generated").value == summary.generated
+        hits = reg.counter("predictor.hits").value
+        misses = reg.counter("predictor.misses").value
+        assert hits + misses > 0
+        assert reg.histogram("node.buffer_occupancy").count > 0
+        # per-landmark queue-depth gauges were sampled
+        assert any(m.name.startswith("landmark.queue_depth[") for m in reg)
+
+    def test_phase_timings_cover_the_run(self, traced_run):
+        _, obs, _ = traced_run
+        report = obs.profiler.report()
+        for phase in ("setup", "event_assembly", "dispatch.visit_start",
+                      "router.carrier_selection", "finalize"):
+            assert phase in report, f"missing phase {phase}"
+            assert report[phase]["seconds"] >= 0.0
+            assert report[phase]["calls"] >= 1
+
+    def test_summary_carries_provenance_and_timings(self, traced_run):
+        trace, _, summary = traced_run
+        prov = summary.provenance
+        assert prov is not None
+        assert prov.trace == trace.name
+        assert prov.protocol == "DTN-FLOW"
+        assert prov.config["seed"] == prov.seed
+        assert summary.phase_timings
+        d = summary.as_dict()
+        assert d["provenance"]["package_version"] == prov.package_version
+        assert "phase_timings" in d
+
+
+class TestDisabledTracing:
+    def test_default_run_never_calls_emit(self, dart_tiny, tiny_sim_config,
+                                          monkeypatch):
+        """With obs disabled the hot paths must not even *call* emit
+        (argument construction would allocate); prove it by making emit
+        explode."""
+
+        def boom(self, *a, **k):  # pragma: no cover - must never run
+            raise AssertionError("EventLog.emit called on an untraced run")
+
+        monkeypatch.setattr(EventLog, "emit", boom)
+        obs = Observability()  # enabled=False
+        summary = Simulation(
+            dart_tiny, make_protocol("DTN-FLOW"), tiny_sim_config, obs=obs
+        ).run()
+        assert summary.generated > 0
+        assert len(obs.events) == 0
+
+    def test_disabled_registry_stays_lean(self, dart_tiny, tiny_sim_config):
+        """Detailed per-entity instruments are skipped when tracing is off;
+        only the headline MetricsCollector instruments register."""
+        obs = Observability()
+        Simulation(dart_tiny, make_protocol("DTN-FLOW"), tiny_sim_config,
+                   obs=obs).run()
+        names = [m.name for m in obs.registry]
+        assert "packets.generated" in names
+        assert not any("[" in n for n in names), names
+
+    def test_traced_and_untraced_runs_agree(self, dart_tiny, tiny_sim_config):
+        """Tracing must observe, never perturb: metrics are identical."""
+        plain = Simulation(dart_tiny, make_protocol("DTN-FLOW"),
+                           tiny_sim_config).run()
+        traced = Simulation(dart_tiny, make_protocol("DTN-FLOW"),
+                            tiny_sim_config,
+                            obs=Observability.tracing()).run()
+        assert plain == traced  # phase_timings excluded from equality
