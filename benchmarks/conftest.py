@@ -8,14 +8,84 @@ paper reports.  Workloads are scaled down by default; set
 Shape assertions are deliberately loose: we check orderings and trends
 (who wins, what rises/falls), not absolute numbers — our substrate is a
 synthetic-trace simulator, not the authors' testbed.
+
+Wall-clock tracking: the suite records its total duration and each
+benchmark's call-phase duration, plus whatever extra measurements tests
+register via :func:`record_bench` (the parallel-speedup benchmark uses
+this), and writes them to ``BENCH_sweeps.json`` at session end — the perf
+trajectory future PRs compare against.  ``--jobs N`` (or ``auto``) routes
+the Fig. 11-14 sweeps through the parallel executor.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from time import perf_counter
+from typing import Dict
+
 import pytest
 
 from repro.eval.config import full_scale, trace_profile
+from repro.eval.runner import parse_jobs
 from repro.mobility.trace import Trace
+
+_BENCH: Dict[str, object] = {"figures": {}, "extra": {}}
+_SESSION_T0 = perf_counter()
+
+
+def record_bench(key: str, value) -> None:
+    """Register an extra measurement for the BENCH_sweeps.json export."""
+    _BENCH["extra"][key] = value
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", default="1",
+        help="worker processes for the sweep benchmarks ('auto' = all cores)",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    """Worker-process count for the parallel sweep executor (--jobs)."""
+    return parse_jobs(request.config.getoption("--jobs"))
+
+
+def pytest_sessionstart(session):
+    global _SESSION_T0
+    _SESSION_T0 = perf_counter()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    t0 = perf_counter()
+    yield
+    _BENCH["figures"][item.name] = round(perf_counter() - t0, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH["figures"] and not _BENCH["extra"]:
+        return  # nothing ran (collection error / --collect-only)
+    payload = {
+        "suite": "benchmarks",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "suite_seconds": round(perf_counter() - _SESSION_T0, 3),
+        "jobs": str(session.config.getoption("--jobs", default="1")),
+        "cpu_count": os.cpu_count(),
+        "full_scale": full_scale(),
+        "figures": _BENCH["figures"],
+        "parallel": _BENCH["extra"],
+    }
+    out = os.environ.get(
+        "REPRO_BENCH_OUT",
+        os.path.join(str(session.config.rootpath), "BENCH_sweeps.json"),
+    )
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote benchmark wall-clock timings to {out}")
 
 
 @pytest.fixture(scope="session")

@@ -13,12 +13,12 @@ from ._sweep_common import (
 from .conftest import emit
 
 
-def test_fig12_memory_sweep_dnet(benchmark, dnet_trace, dnet_profile, memory_grid):
+def test_fig12_memory_sweep_dnet(benchmark, dnet_trace, dnet_profile, memory_grid, jobs):
     def run():
         return memory_sweep(
             dnet_trace, dnet_profile,
             memories_kb=memory_grid, rate=500.0,
-            protocols=PAPER_PROTOCOLS, seed=3,
+            protocols=PAPER_PROTOCOLS, seed=3, jobs=jobs,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -12,12 +12,12 @@ from ._sweep_common import (
 from .conftest import emit
 
 
-def test_fig14_rate_sweep_dnet(benchmark, dnet_trace, dnet_profile, rate_grid):
+def test_fig14_rate_sweep_dnet(benchmark, dnet_trace, dnet_profile, rate_grid, jobs):
     def run():
         return rate_sweep(
             dnet_trace, dnet_profile,
             rates=rate_grid, memory_kb=2000.0,
-            protocols=PAPER_PROTOCOLS, seed=3,
+            protocols=PAPER_PROTOCOLS, seed=3, jobs=jobs,
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -31,6 +31,8 @@ from repro.core import evaluate_predictor
 from repro.eval.config import TraceProfile, trace_profile
 from repro.eval.confidence import run_with_confidence
 from repro.eval.deployment import run_deployment
+from repro.eval.experiment import run_matrix
+from repro.eval.runner import PointSpec, TraceSpec, parse_jobs, run_points
 from repro.eval.sweeps import memory_sweep, rate_sweep
 from repro.mobility import io as trace_io
 from repro.mobility import stats
@@ -41,11 +43,15 @@ from repro.utils.tables import format_table
 
 
 def _resolve_trace(spec: str, seed: int) -> tuple:
-    """Return (trace, profile) for a profile name or a trace CSV path."""
+    """Return (trace, profile, trace_spec) for a profile name or a CSV path.
+
+    The :class:`TraceSpec` is the picklable recipe parallel workers use to
+    rebuild the trace without shipping it point-by-point.
+    """
     key = spec.upper()
     if key in ("DART", "DNET"):
         profile = trace_profile(key)
-        return profile.build(seed), profile
+        return profile.build(seed), profile, TraceSpec.from_profile(key, seed)
     trace = trace_io.load_trace(spec)
     # generic profile for external traces: day-scale time unit, 1/5 of the
     # trace duration as TTL
@@ -57,11 +63,11 @@ def _resolve_trace(spec: str, seed: int) -> tuple:
         workload_scale=1.0,
         memory_pressure=1.0,
     )
-    return trace, profile
+    return trace, profile, TraceSpec.from_path(spec)
 
 
 def cmd_summary(args: argparse.Namespace) -> int:
-    trace, profile = _resolve_trace(args.trace, args.seed)
+    trace, profile, _ = _resolve_trace(args.trace, args.seed)
     s = stats.trace_summary(trace)
     print(format_table(
         ["trace", "nodes", "landmarks", "days", "records", "transits"],
@@ -79,10 +85,13 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    trace, profile = _resolve_trace(args.trace, args.seed)
-    config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
-    protocol = make_protocol(args.protocol)
-    result = Simulation(trace, protocol, config).run()
+    trace, profile, tspec = _resolve_trace(args.trace, args.seed)
+    point = PointSpec(
+        protocol=args.protocol, memory_kb=args.memory, rate=args.rate, seed=args.seed
+    )
+    result = run_points(
+        trace, profile, [point], jobs=parse_jobs(args.jobs), trace_spec=tspec
+    )[0].metrics
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         return 0
@@ -101,15 +110,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    trace, profile = _resolve_trace(args.trace, args.seed)
+    trace, profile, tspec = _resolve_trace(args.trace, args.seed)
+    jobs = parse_jobs(args.jobs)
     rows = []
     json_rows: List[dict] = []
-    for name in PAPER_PROTOCOLS:
-        if args.seeds > 1:
+    if args.seeds > 1:
+        for name in PAPER_PROTOCOLS:
             cis = run_with_confidence(
                 trace, profile, name,
                 seeds=tuple(range(args.seed, args.seed + args.seeds)),
                 memory_kb=args.memory, rate=args.rate,
+                jobs=jobs, trace_spec=tspec,
             )
             rows.append([
                 name,
@@ -130,9 +141,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     for m, ci in cis.items()
                 },
             })
-        else:
-            config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
-            r = Simulation(trace, make_protocol(name), config).run()
+    else:
+        results = run_matrix(
+            trace, profile, PAPER_PROTOCOLS,
+            memory_kb=args.memory, rate=args.rate, seed=args.seed,
+            jobs=jobs, trace_spec=tspec,
+        )
+        for name in PAPER_PROTOCOLS:
+            r = results[name].metrics
             rows.append([
                 name, f"{r.success_rate:.3f}", f"{r.avg_delay / 3600:.1f}",
                 r.forwarding_ops, r.total_cost,
@@ -150,21 +166,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    trace, profile = _resolve_trace(args.trace, args.seed)
+    trace, profile, tspec = _resolve_trace(args.trace, args.seed)
+    jobs = parse_jobs(args.jobs)
     protocols = args.protocols.split(",") if args.protocols else list(PAPER_PROTOCOLS)
     if args.parameter == "memory":
         values = [float(v) for v in (args.values.split(",") if args.values else
                                      ["1200", "1600", "2000", "2400", "3000"])]
         result = memory_sweep(trace, profile, memories_kb=values,
-                              rate=args.rate, protocols=protocols, seed=args.seed)
+                              rate=args.rate, protocols=protocols, seed=args.seed,
+                              jobs=jobs, trace_spec=tspec)
     else:
         values = [float(v) for v in (args.values.split(",") if args.values else
                                      ["100", "300", "500", "700", "1000"])]
         result = rate_sweep(trace, profile, rates=values,
-                            memory_kb=args.memory, protocols=protocols, seed=args.seed)
+                            memory_kb=args.memory, protocols=protocols, seed=args.seed,
+                            jobs=jobs, trace_spec=tspec)
     for metric in ("success_rate", "avg_delay", "forwarding_cost", "total_cost"):
         print(result.metric_table(metric))
         print()
+    timing_rows = [list(r) for r in result.phase_rows()]
+    if timing_rows:
+        print(format_table(
+            ["phase", "seconds", "calls"], timing_rows,
+            title="phase timings (wall-clock, merged over all points):",
+        ))
     return 0
 
 
@@ -188,7 +213,7 @@ def cmd_deployment(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    trace, _ = _resolve_trace(args.trace, args.seed)
+    trace, _, _ = _resolve_trace(args.trace, args.seed)
     rows = []
     for k in (1, 2, 3):
         ev = evaluate_predictor(trace, k)
@@ -205,7 +230,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 def _run_traced(args: argparse.Namespace):
     """Run one experiment with full observability on; returns (trace, obs, summary)."""
-    trace, profile = _resolve_trace(args.trace, args.seed)
+    trace, profile, _ = _resolve_trace(args.trace, args.seed)
     config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
     obs = Observability.tracing(event_capacity=args.capacity)
     protocol = make_protocol(args.protocol)
@@ -370,9 +395,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--memory", type=float, default=2000.0, help="node memory (kB)")
         p.add_argument("--rate", type=float, default=500.0, help="packets/landmark/day")
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", default="1", metavar="N",
+                       help="worker processes for independent experiment "
+                            "points ('auto' = all cores; default 1 = serial)")
+
     p = sub.add_parser("run", help="run one protocol on one workload")
     add_common(p)
     add_workload(p)
+    add_jobs(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_run)
@@ -383,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=500.0)
     p.add_argument("--seeds", type=int, default=1,
                    help="number of workload seeds (>1 adds 95%% CIs)")
+    add_jobs(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_compare)
@@ -425,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", type=float, default=2000.0)
     p.add_argument("--rate", type=float, default=500.0)
     p.add_argument("--protocols", default=None, help="comma-separated protocol names")
+    add_jobs(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("deployment", help="the Section V-C campus deployment")

@@ -21,9 +21,21 @@ from repro.eval.extensions import (
     loadbalance_experiment,
     loop_experiment,
 )
+from repro.eval.runner import (
+    PointSpec,
+    TraceSpec,
+    parse_jobs,
+    run_point_specs,
+    run_points,
+)
 from repro.eval.sweeps import SweepResult, memory_sweep, rate_sweep
 
 __all__ = [
+    "PointSpec",
+    "TraceSpec",
+    "parse_jobs",
+    "run_point_specs",
+    "run_points",
     "MEMORY_SWEEP_KB",
     "OVERLOAD_RATES",
     "RATE_SWEEP",

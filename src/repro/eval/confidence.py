@@ -8,13 +8,13 @@ mean ± half-width of the Student-t confidence interval for each metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 from scipy import stats as sp_stats
 
 from repro.eval.config import TraceProfile
-from repro.eval.experiment import run_point
+from repro.eval.runner import PointSpec, TraceSpec, run_points
 from repro.mobility.trace import Trace
 from repro.utils.validation import require_in_range, require_positive
 
@@ -68,19 +68,25 @@ def run_with_confidence(
     memory_kb: float = 2000.0,
     rate: float = 500.0,
     level: float = 0.95,
+    jobs: Union[int, str, None] = 1,
+    trace_spec: Optional[TraceSpec] = None,
 ) -> Dict[str, MetricCI]:
     """Run one experiment point over ``seeds``; CI per metric.
 
     Only the workload seed varies (the trace is fixed), matching the paper's
-    repeated-runs methodology.
+    repeated-runs methodology.  ``jobs > 1`` fans the seeds out over worker
+    processes; the per-seed results (and hence the intervals) are
+    bit-identical to a serial run.
     """
     require_positive("n seeds", len(seeds))
+    points = [
+        PointSpec(protocol=protocol_name, memory_kb=memory_kb, rate=rate, seed=seed)
+        for seed in seeds
+    ]
+    results = run_points(trace, profile, points, jobs=jobs, trace_spec=trace_spec)
     samples: Dict[str, List[float]] = {m: [] for m in METRICS}
-    for seed in seeds:
-        res = run_point(
-            trace, profile, protocol_name,
-            memory_kb=memory_kb, rate=rate, seed=seed,
-        ).metrics
+    for outcome in results:
+        res = outcome.metrics
         samples["success_rate"].append(res.success_rate)
         samples["avg_delay"].append(res.avg_delay)
         samples["forwarding_ops"].append(float(res.forwarding_ops))

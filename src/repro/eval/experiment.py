@@ -24,18 +24,22 @@ class ExperimentResult:
     metrics: MetricsSummary
 
 
-def run_point(
+def execute_config(
     trace: Trace,
-    profile: TraceProfile,
     protocol_name: str,
+    config: SimConfig,
     *,
-    memory_kb: float = 2000.0,
-    rate: float = 500.0,
-    seed: int = 0,
+    memory_kb: float,
+    rate: float,
+    seed: int,
     protocol_kwargs: Optional[dict] = None,
 ) -> ExperimentResult:
-    """Run one (trace, protocol, memory, rate) experiment point."""
-    config = profile.sim_config(memory_kb=memory_kb, rate=rate, seed=seed)
+    """Run one experiment from a fully-resolved :class:`SimConfig`.
+
+    This is the single execution path shared by the serial runners and the
+    parallel executor's workers (``repro.eval.runner``): a config resolved
+    once in the parent yields bit-identical results wherever it runs.
+    """
     protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
     summary = Simulation(trace, protocol, config).run()
     return ExperimentResult(
@@ -48,6 +52,29 @@ def run_point(
     )
 
 
+def run_point(
+    trace: Trace,
+    profile: TraceProfile,
+    protocol_name: str,
+    *,
+    memory_kb: float = 2000.0,
+    rate: float = 500.0,
+    seed: int = 0,
+    protocol_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run one (trace, protocol, memory, rate) experiment point."""
+    config = profile.sim_config(memory_kb=memory_kb, rate=rate, seed=seed)
+    return execute_config(
+        trace,
+        protocol_name,
+        config,
+        memory_kb=memory_kb,
+        rate=rate,
+        seed=seed,
+        protocol_kwargs=protocol_kwargs,
+    )
+
+
 def run_matrix(
     trace: Trace,
     profile: TraceProfile,
@@ -56,11 +83,20 @@ def run_matrix(
     memory_kb: float = 2000.0,
     rate: float = 500.0,
     seed: int = 0,
+    jobs: int = 1,
+    trace_spec=None,
 ) -> Dict[str, ExperimentResult]:
-    """Run every protocol on the same workload; keyed by protocol name."""
-    return {
-        name: run_point(
-            trace, profile, name, memory_kb=memory_kb, rate=rate, seed=seed
-        )
+    """Run every protocol on the same workload; keyed by protocol name.
+
+    ``jobs > 1`` fans the protocols out over worker processes (see
+    :mod:`repro.eval.runner`); results are bit-identical to ``jobs=1``.
+    """
+    # runner imports this module; resolve the cycle lazily
+    from repro.eval.runner import PointSpec, run_points
+
+    points = [
+        PointSpec(protocol=name, memory_kb=memory_kb, rate=rate, seed=seed)
         for name in protocols
-    }
+    ]
+    results = run_points(trace, profile, points, jobs=jobs, trace_spec=trace_spec)
+    return {p.protocol: r for p, r in zip(points, results)}

@@ -1,0 +1,277 @@
+"""Parallel experiment executor: fan independent sweep points over processes.
+
+The paper's evaluation (Figs. 11-14, Tables 6-9) is dominated by parameter
+sweeps — every ``(trace, protocol, memory, rate, seed)`` point an
+independent discrete-event run.  :func:`run_points` executes such points
+over a process pool with three guarantees:
+
+* **worker-side trace caching** — each worker receives the
+  :class:`TraceSpec` table once (via the pool initializer) and materializes
+  every distinct trace at most once, reusing it across all the points it
+  executes;
+* **deterministic ordering** — results come back in submission order no
+  matter which worker finishes first;
+* **bit-identical fallback** — ``jobs=1`` (or an unavailable pool) runs the
+  exact same :func:`~repro.eval.experiment.execute_config` path in-process,
+  so serial and parallel runs produce identical
+  :class:`~repro.sim.metrics.MetricsSummary` values for the same seeds.
+
+Configs are resolved from the :class:`~repro.eval.config.TraceProfile` in
+the parent before dispatch (profiles hold non-picklable builder closures;
+:class:`~repro.sim.engine.SimConfig` is a plain dataclass).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.eval.config import TraceProfile, full_scale, trace_profile
+from repro.eval.experiment import ExperimentResult, execute_config
+from repro.mobility.trace import Trace
+from repro.sim.engine import SimConfig
+
+__all__ = [
+    "PointSpec",
+    "TraceSpec",
+    "parse_jobs",
+    "run_point_specs",
+    "run_points",
+]
+
+
+def parse_jobs(value: Union[int, str, None]) -> int:
+    """Parse a ``--jobs`` value: a positive int, or ``auto``/``0`` = all cores."""
+    if value is None:
+        return 1
+    if isinstance(value, int):
+        n = value
+    else:
+        text = str(value).strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            n = int(text)
+        except ValueError:
+            raise ValueError(
+                f"jobs must be a positive integer or 'auto', got {value!r}"
+            ) from None
+    if n == 0:
+        return max(1, os.cpu_count() or 1)
+    if n < 0:
+        raise ValueError(f"jobs must be a positive integer or 'auto', got {value!r}")
+    return n
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A picklable recipe for materializing a :class:`Trace` in a worker.
+
+    Workers cache materialized traces by :attr:`key`, so a spec shipped once
+    (through the pool initializer) serves every point that references it.
+    Three kinds:
+
+    * ``profile`` — rebuild a built-in synthetic trace (``DART``/``DNET``)
+      from its deterministic generator; nothing but the name and seed
+      crosses the process boundary;
+    * ``path`` — load a trace CSV from disk;
+    * ``inline`` — carry the trace itself (pickled once per worker; the
+      general case for programmatically-built traces).
+    """
+
+    kind: str
+    key: str
+    profile: Optional[str] = None
+    seed: int = 0
+    path: Optional[str] = None
+    trace: Optional[Trace] = None
+
+    @classmethod
+    def from_profile(cls, name: str, seed: int) -> "TraceSpec":
+        name = name.upper()
+        trace_profile(name)  # validate eagerly, in the parent
+        key = f"profile:{name}:{seed}:full={int(full_scale())}"
+        return cls(kind="profile", key=key, profile=name, seed=seed)
+
+    @classmethod
+    def from_path(cls, path: str) -> "TraceSpec":
+        return cls(kind="path", key=f"path:{path}", path=str(path))
+
+    @classmethod
+    def inline(cls, trace: Trace) -> "TraceSpec":
+        # id() keys are only meaningful parent-side; workers just treat the
+        # key as an opaque cache handle for the pickled trace
+        return cls(kind="inline", key=f"inline:{trace.name}:{id(trace)}", trace=trace)
+
+    def materialize(self) -> Trace:
+        if self.kind == "profile":
+            return trace_profile(self.profile).build(self.seed)
+        if self.kind == "path":
+            from repro.mobility import io as trace_io
+
+            return trace_io.load_trace(self.path)
+        if self.kind == "inline":
+            if self.trace is None:
+                raise ValueError("inline TraceSpec lost its trace payload")
+            return self.trace
+        raise ValueError(f"unknown TraceSpec kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One experiment point: protocol + workload knobs (trace given aside)."""
+
+    protocol: str
+    memory_kb: float = 2000.0
+    rate: float = 500.0
+    seed: int = 0
+    protocol_kwargs: Optional[dict] = None
+
+
+#: one work item: which trace, which point, with which resolved config
+Entry = Tuple[TraceSpec, PointSpec, SimConfig]
+
+#: pool-infrastructure failures that trigger the serial fallback (a genuine
+#: experiment error inside a worker propagates as its original type instead)
+_POOL_ERRORS = (OSError, ImportError, NotImplementedError, BrokenProcessPool)
+
+
+# -- worker-side state ----------------------------------------------------------
+_WORKER_SPECS: Dict[str, TraceSpec] = {}
+_WORKER_TRACES: Dict[str, Trace] = {}
+
+
+def _pool_init(specs: Dict[str, TraceSpec]) -> None:
+    """Pool initializer: receive the spec table once per worker process."""
+    global _WORKER_SPECS
+    _WORKER_SPECS = specs
+    _WORKER_TRACES.clear()
+
+
+def _worker_trace(key: str) -> Trace:
+    """Materialize (once) and cache the trace behind ``key`` in this worker."""
+    trace = _WORKER_TRACES.get(key)
+    if trace is None:
+        trace = _WORKER_SPECS[key].materialize()
+        _WORKER_TRACES[key] = trace
+    return trace
+
+
+def _run_task(
+    idx: int, trace_key: str, point: PointSpec, config: SimConfig
+) -> Tuple[int, ExperimentResult]:
+    trace = _worker_trace(trace_key)
+    return idx, execute_config(
+        trace,
+        point.protocol,
+        config,
+        memory_kb=point.memory_kb,
+        rate=point.rate,
+        seed=point.seed,
+        protocol_kwargs=point.protocol_kwargs,
+    )
+
+
+def _run_pool(entries: Sequence[Entry], n_jobs: int) -> List[ExperimentResult]:
+    specs: Dict[str, TraceSpec] = {}
+    for spec, _, _ in entries:
+        specs.setdefault(spec.key, spec)
+    results: List[Optional[ExperimentResult]] = [None] * len(entries)
+    with ProcessPoolExecutor(
+        max_workers=n_jobs, initializer=_pool_init, initargs=(specs,)
+    ) as pool:
+        futures = [
+            pool.submit(_run_task, i, spec.key, point, config)
+            for i, (spec, point, config) in enumerate(entries)
+        ]
+        for future in futures:
+            idx, result = future.result()
+            results[idx] = result
+    return results  # type: ignore[return-value]
+
+
+def _run_serial(
+    entries: Sequence[Entry],
+    materialized: Optional[Dict[str, Trace]] = None,
+) -> List[ExperimentResult]:
+    traces: Dict[str, Trace] = dict(materialized or {})
+    out: List[ExperimentResult] = []
+    for spec, point, config in entries:
+        trace = traces.get(spec.key)
+        if trace is None:
+            trace = spec.materialize()
+            traces[spec.key] = trace
+        out.append(
+            execute_config(
+                trace,
+                point.protocol,
+                config,
+                memory_kb=point.memory_kb,
+                rate=point.rate,
+                seed=point.seed,
+                protocol_kwargs=point.protocol_kwargs,
+            )
+        )
+    return out
+
+
+def run_point_specs(
+    entries: Sequence[Entry],
+    *,
+    jobs: Union[int, str, None] = 1,
+    materialized: Optional[Dict[str, Trace]] = None,
+) -> List[ExperimentResult]:
+    """Execute ``(trace_spec, point, config)`` entries, possibly in parallel.
+
+    The general, multi-trace form of :func:`run_points`.  ``materialized``
+    optionally seeds the serial path's trace cache with already-built traces
+    (keyed by spec key) so a single-trace caller never rebuilds the trace it
+    already holds.
+    """
+    entries = list(entries)
+    if not entries:
+        return []
+    n_jobs = min(parse_jobs(jobs), len(entries))
+    if n_jobs > 1:
+        try:
+            return _run_pool(entries, n_jobs)
+        except _POOL_ERRORS as exc:
+            print(
+                f"repro: process pool unavailable ({exc!r}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
+    return _run_serial(entries, materialized)
+
+
+def run_points(
+    trace: Trace,
+    profile: TraceProfile,
+    points: Sequence[PointSpec],
+    *,
+    jobs: Union[int, str, None] = 1,
+    trace_spec: Optional[TraceSpec] = None,
+) -> List[ExperimentResult]:
+    """Run experiment ``points`` against one trace, fanning out over workers.
+
+    Results are returned in ``points`` order and are bit-identical across
+    ``jobs`` values.  ``trace_spec`` lets callers that know a cheaper recipe
+    for the trace (a profile name or a CSV path) avoid pickling it to every
+    worker; by default the trace itself is shipped once per worker.
+    """
+    spec = trace_spec if trace_spec is not None else TraceSpec.inline(trace)
+    entries: List[Entry] = [
+        (
+            spec,
+            point,
+            profile.sim_config(
+                memory_kb=point.memory_kb, rate=point.rate, seed=point.seed
+            ),
+        )
+        for point in points
+    ]
+    return run_point_specs(entries, jobs=jobs, materialized={spec.key: trace})

@@ -4,16 +4,21 @@ Each sweep returns a :class:`SweepResult`: per-protocol series of the four
 metrics (success rate, average delay, forwarding cost, total cost) across
 the swept parameter — exactly the data behind the paper's four-panel
 figures.
+
+Sweep points are independent simulations, so both sweeps submit all their
+points upfront to :func:`repro.eval.runner.run_points`; pass ``jobs > 1``
+(or ``"auto"``) to fan them out over worker processes.  Results are
+bit-identical across ``jobs`` values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import PAPER_PROTOCOLS
 from repro.eval.config import MEMORY_SWEEP_KB, RATE_SWEEP, TraceProfile
-from repro.eval.experiment import run_point
+from repro.eval.runner import PointSpec, TraceSpec, run_points
 from repro.mobility.trace import Trace
 from repro.utils.tables import format_table
 
@@ -28,12 +33,18 @@ class SweepResult:
     #: protocol -> metric -> series aligned with ``values``
     series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
     #: protocol -> per-point run provenance dicts aligned with ``values``
-    #: (config, seed, package version — makes exported JSON self-describing)
+    #: (config, seed, sweep value, package version — makes exported JSON
+    #: self-describing)
     provenance: Dict[str, List[Optional[dict]]] = field(default_factory=dict)
+    #: wall-clock seconds/calls per engine phase, merged over every added
+    #: point — per-worker PhaseProfiler reports folded back together, so
+    #: parallel sweeps keep their phase breakdown
+    phase_timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     METRICS = ("success_rate", "avg_delay", "forwarding_cost", "total_cost")
 
-    def add(self, protocol: str, summary) -> None:
+    def add(self, protocol: str, summary, *, value: Optional[float] = None) -> None:
+        """Record one point's summary (and its provenance/phase timings)."""
         rec = self.series.setdefault(
             protocol, {m: [] for m in self.METRICS}
         )
@@ -41,10 +52,41 @@ class SweepResult:
         rec["avg_delay"].append(summary.avg_delay)
         rec["forwarding_cost"].append(float(summary.forwarding_ops))
         rec["total_cost"].append(float(summary.total_cost))
-        prov = getattr(summary, "provenance", None)
         self.provenance.setdefault(protocol, []).append(
-            prov.as_dict() if prov is not None else None
+            self._provenance_row(summary, value)
         )
+        self._merge_phase_timings(summary)
+
+    def _provenance_row(self, summary, value: Optional[float]) -> Optional[dict]:
+        """One JSON-shaped provenance row, stamped with the sweep point."""
+        prov = getattr(summary, "provenance", None)
+        if prov is None:
+            return None
+        row = prov.as_dict()
+        row["sweep_parameter"] = self.parameter
+        if value is not None:
+            row["sweep_value"] = value
+        return row
+
+    def _merge_phase_timings(self, summary) -> None:
+        timings = getattr(summary, "phase_timings", None)
+        if not timings:
+            return
+        for phase, rec in timings.items():
+            slot = self.phase_timings.setdefault(
+                phase, {"seconds": 0.0, "calls": 0}
+            )
+            slot["seconds"] += float(rec.get("seconds", 0.0))
+            slot["calls"] += int(rec.get("calls", 0))
+
+    def phase_rows(self) -> List[Tuple[str, str, int]]:
+        """``(phase, seconds, calls)`` rows, sorted by seconds descending."""
+        return [
+            (name, f"{rec['seconds']:.4f}", int(rec["calls"]))
+            for name, rec in sorted(
+                self.phase_timings.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
 
     def metric_table(self, metric: str) -> str:
         """Render one metric panel as an ASCII table (a paper sub-figure)."""
@@ -57,16 +99,37 @@ class SweepResult:
             rows.append(row)
         return format_table(headers, rows, title=f"{self.trace}: {metric}")
 
+    def _metric_series(self, protocol: str, metric: str) -> List[float]:
+        if metric not in self.METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        series = self.series[protocol][metric]
+        if not series:
+            raise ValueError(
+                f"no values recorded for protocol {protocol!r}, "
+                f"metric {metric!r} — was the sweep run?"
+            )
+        return series
+
+    def _require_series(self) -> None:
+        if not self.series:
+            raise ValueError(
+                "sweep result is empty (no points were added) — "
+                "run the sweep before querying it"
+            )
+
     def final_values(self, metric: str) -> Dict[str, float]:
         """Metric value at the last sweep point, per protocol."""
-        return {p: series[metric][-1] for p, series in self.series.items()}
+        self._require_series()
+        return {p: self._metric_series(p, metric)[-1] for p in self.series}
 
     def mean_values(self, metric: str) -> Dict[str, float]:
         """Metric averaged over the sweep, per protocol (for shape checks)."""
-        return {
-            p: sum(series[metric]) / len(series[metric])
-            for p, series in self.series.items()
-        }
+        self._require_series()
+        out: Dict[str, float] = {}
+        for p in self.series:
+            series = self._metric_series(p, metric)
+            out[p] = sum(series) / len(series)
+        return out
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-shaped export: series plus per-point run provenance."""
@@ -76,6 +139,7 @@ class SweepResult:
             "values": list(self.values),
             "series": {p: dict(m) for p, m in self.series.items()},
             "provenance": {p: list(v) for p, v in self.provenance.items()},
+            "phase_timings": {p: dict(t) for p, t in self.phase_timings.items()},
         }
 
 
@@ -87,17 +151,21 @@ def memory_sweep(
     rate: float = 500.0,
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 0,
+    jobs: Union[int, str, None] = 1,
+    trace_spec: Optional[TraceSpec] = None,
 ) -> SweepResult:
     """Fig. 11/12: the four metrics vs per-node memory (paper kB units)."""
     result = SweepResult(
         trace=trace.name, parameter="memory_kb", values=tuple(memories_kb)
     )
-    for name in protocols:
-        for mem in memories_kb:
-            point = run_point(
-                trace, profile, name, memory_kb=mem, rate=rate, seed=seed
-            )
-            result.add(name, point.metrics)
+    points = [
+        PointSpec(protocol=name, memory_kb=mem, rate=rate, seed=seed)
+        for name in protocols
+        for mem in memories_kb
+    ]
+    outcomes = run_points(trace, profile, points, jobs=jobs, trace_spec=trace_spec)
+    for point, outcome in zip(points, outcomes):
+        result.add(point.protocol, outcome.metrics, value=point.memory_kb)
     return result
 
 
@@ -109,13 +177,17 @@ def rate_sweep(
     memory_kb: float = 2000.0,
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seed: int = 0,
+    jobs: Union[int, str, None] = 1,
+    trace_spec: Optional[TraceSpec] = None,
 ) -> SweepResult:
     """Fig. 13/14: the four metrics vs packet generation rate."""
     result = SweepResult(trace=trace.name, parameter="rate", values=tuple(rates))
-    for name in protocols:
-        for rate in rates:
-            point = run_point(
-                trace, profile, name, memory_kb=memory_kb, rate=rate, seed=seed
-            )
-            result.add(name, point.metrics)
+    points = [
+        PointSpec(protocol=name, memory_kb=memory_kb, rate=rate, seed=seed)
+        for name in protocols
+        for rate in rates
+    ]
+    outcomes = run_points(trace, profile, points, jobs=jobs, trace_spec=trace_spec)
+    for point, outcome in zip(points, outcomes):
+        result.add(point.protocol, outcome.metrics, value=point.rate)
     return result

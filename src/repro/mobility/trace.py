@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
+ReplayEvent = Tuple[float, int, int, "VisitRecord"]
+
 
 @dataclass(frozen=True, order=True)
 class VisitRecord:
@@ -85,6 +87,23 @@ class Trace:
         self._by_node: Dict[int, List[VisitRecord]] = {}
         for rec in self._records:
             self._by_node.setdefault(rec.node, []).append(rec)
+        #: memoized replay schedules keyed by (start_kind, end_kind); safe
+        #: because the record list is immutable after construction
+        self._replay_cache: Dict[Tuple[int, int], Tuple[ReplayEvent, ...]] = {}
+        #: number of schedule rebuilds (exposed so tests can assert the
+        #: memoization actually skips work on repeated simulations)
+        self.n_replay_builds: int = 0
+
+    # -- pickling -----------------------------------------------------------------
+    # Only the records and the name cross process boundaries; the sorted
+    # indexes and the replay cache are rebuilt on unpickle.  This keeps the
+    # payload the parallel executor ships to each worker as small as the
+    # trace itself.
+    def __getstate__(self) -> Dict[str, object]:
+        return {"name": self.name, "records": self._records}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(state["records"], name=state["name"])  # type: ignore[arg-type]
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -140,6 +159,35 @@ class Trace:
     def visit_sequence(self, node: int) -> List[int]:
         """The landmark-id sequence visited by ``node`` (Markov input)."""
         return [r.landmark for r in self._by_node.get(node, ())]
+
+    def replay_events(
+        self, start_kind: int, end_kind: int
+    ) -> Tuple[ReplayEvent, ...]:
+        """The trace's visit events as ``(time, kind, seq, record)`` tuples.
+
+        For each record, in record order, emits ``(start, start_kind, i)``
+        then ``(end, end_kind, i+1)`` with a monotonically increasing ``seq``
+        — exactly the stream the simulation engine folds into its event
+        queue.  The result is memoized per ``(start_kind, end_kind)`` pair,
+        so repeated simulations of the same trace skip the rebuild; callers
+        must treat the returned tuple as read-only and continue their own
+        sequence numbers from ``2 * len(trace)``.
+        """
+        key = (int(start_kind), int(end_kind))
+        cached = self._replay_cache.get(key)
+        if cached is not None:
+            return cached
+        events: List[ReplayEvent] = []
+        counter = 0
+        for rec in self._records:
+            events.append((rec.start, start_kind, counter, rec))
+            counter += 1
+            events.append((rec.end, end_kind, counter, rec))
+            counter += 1
+        result = tuple(events)
+        self._replay_cache[key] = result
+        self.n_replay_builds += 1
+        return result
 
     # -- derived quantities ---------------------------------------------------------
     def transits(self) -> List[Transit]:

@@ -385,13 +385,14 @@ class Simulation:
 
     # -- event assembly -----------------------------------------------------------
     def _events(self) -> List[Tuple[float, int, int, object]]:
-        events: List[Tuple[float, int, int, object]] = []
-        counter = 0
-        for rec in self.trace:
-            events.append((rec.start, _VISIT_START, counter, rec))
-            counter += 1
-            events.append((rec.end, _VISIT_END, counter, rec))
-            counter += 1
+        # the visit-start/visit-end stream depends only on the trace, so it
+        # is memoized there (Trace.replay_events); workload and probe events
+        # depend on the config and are appended per run, with sequence
+        # numbers continuing past the cached stream's 2*len(trace)
+        events: List[Tuple[float, int, int, object]] = list(
+            self.trace.replay_events(_VISIT_START, _VISIT_END)
+        )
+        counter = len(events)
         warmup_end = self.trace.start_time + self.config.warmup_fraction * self.trace.duration
         gen_end = self.trace.start_time + self.config.generation_end_fraction * self.trace.duration
         if gen_end > warmup_end and self.config.effective_rate > 0:

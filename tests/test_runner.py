@@ -1,0 +1,262 @@
+"""Tests for the parallel experiment executor (repro.eval.runner) and the
+trace replay cache / cheap pickling that back it."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.eval.config import TraceProfile
+from repro.eval.runner import (
+    PointSpec,
+    TraceSpec,
+    parse_jobs,
+    run_point_specs,
+    run_points,
+)
+from repro.eval.sweeps import SweepResult, memory_sweep
+from repro.mobility import io as trace_io
+from repro.mobility.synthetic import dart_like
+from repro.mobility.trace import days
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.metrics import MetricsSummary
+from repro.baselines import make_protocol
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return TraceProfile(
+        name="tiny",
+        build=lambda seed: dart_like("tiny", seed=seed),
+        ttl=days(4.0),
+        time_unit=days(2.0),
+        workload_scale=0.02,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_trace(tiny_profile):
+    return tiny_profile.build(1)
+
+
+class TestParseJobs:
+    def test_ints_pass_through(self):
+        assert parse_jobs(1) == 1
+        assert parse_jobs("3") == 3
+
+    def test_auto_and_zero_mean_cpu_count(self):
+        assert parse_jobs("auto") >= 1
+        assert parse_jobs(0) == parse_jobs("auto")
+        assert parse_jobs("0") == parse_jobs("auto")
+
+    def test_none_means_serial(self):
+        assert parse_jobs(None) == 1
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            parse_jobs("lots")
+        with pytest.raises(ValueError):
+            parse_jobs(-2)
+
+
+class TestTracePickle:
+    def test_round_trip_preserves_records(self, tiny_trace):
+        clone = pickle.loads(pickle.dumps(tiny_trace))
+        assert clone.name == tiny_trace.name
+        assert clone.records == tiny_trace.records
+        assert clone.nodes == tiny_trace.nodes
+        assert clone.landmarks == tiny_trace.landmarks
+
+    def test_pickle_payload_is_lean(self, tiny_trace):
+        # warm the replay cache, then check it is not shipped
+        tiny_trace.replay_events(2, 0)
+        state = tiny_trace.__getstate__()
+        assert set(state) == {"name", "records"}
+
+    def test_unpickled_trace_runs_identically(self, tiny_trace):
+        clone = pickle.loads(pickle.dumps(tiny_trace))
+        config = SimConfig(
+            ttl=days(3.0), rate_per_landmark_per_day=150.0,
+            workload_scale=0.02, time_unit=days(2.0), seed=4,
+        )
+        a = Simulation(tiny_trace, make_protocol("DTN-FLOW"), config).run()
+        b = Simulation(clone, make_protocol("DTN-FLOW"), config).run()
+        assert a == b  # MetricsSummary equality ignores wall-clock timings
+
+
+class TestReplayCache:
+    def test_second_run_skips_rebuild(self, shuttle_trace):
+        config = SimConfig(
+            ttl=days(3.0), rate_per_landmark_per_day=100.0,
+            workload_scale=0.5, time_unit=days(2.0), seed=2,
+        )
+        builds_before = shuttle_trace.n_replay_builds
+        first = Simulation(shuttle_trace, make_protocol("DTN-FLOW"), config).run()
+        builds_after_first = shuttle_trace.n_replay_builds
+        second = Simulation(shuttle_trace, make_protocol("DTN-FLOW"), config).run()
+        assert shuttle_trace.n_replay_builds == builds_after_first
+        assert builds_after_first <= builds_before + 1
+        assert first == second
+
+    def test_cached_schedule_is_shared(self, shuttle_trace):
+        a = shuttle_trace.replay_events(2, 0)
+        b = shuttle_trace.replay_events(2, 0)
+        assert a is b
+        assert len(a) == 2 * len(shuttle_trace)
+        # ordering contract: per record, start then end, seq 0..2N-1
+        assert [e[2] for e in a] == list(range(2 * len(shuttle_trace)))
+
+    def test_distinct_kinds_cached_separately(self, shuttle_trace):
+        a = shuttle_trace.replay_events(2, 0)
+        c = shuttle_trace.replay_events(5, 7)
+        assert a is not c
+        assert c[0][1] == 5 and c[1][1] == 7
+
+
+class TestRunPoints:
+    POINTS = [
+        PointSpec(protocol=name, memory_kb=mem, rate=150.0, seed=0)
+        for name in ("DTN-FLOW", "PROPHET")
+        for mem in (500.0, 2000.0)
+    ]
+
+    def test_parallel_matches_serial_bit_identical(self, tiny_trace, tiny_profile):
+        serial = run_points(tiny_trace, tiny_profile, self.POINTS, jobs=1)
+        two = run_points(tiny_trace, tiny_profile, self.POINTS, jobs=2)
+        four = run_points(tiny_trace, tiny_profile, self.POINTS, jobs=4)
+        assert serial == two == four
+
+    def test_results_keep_submission_order(self, tiny_trace, tiny_profile):
+        results = run_points(tiny_trace, tiny_profile, self.POINTS, jobs=2)
+        assert [r.protocol for r in results] == [p.protocol for p in self.POINTS]
+        assert [r.memory_kb for r in results] == [p.memory_kb for p in self.POINTS]
+
+    def test_empty_points(self, tiny_trace, tiny_profile):
+        assert run_points(tiny_trace, tiny_profile, [], jobs=4) == []
+
+    def test_pool_failure_falls_back_to_serial(
+        self, tiny_trace, tiny_profile, monkeypatch, capsys
+    ):
+        import repro.eval.runner as runner_mod
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", broken_pool)
+        results = run_points(tiny_trace, tiny_profile, self.POINTS, jobs=2)
+        serial = run_points(tiny_trace, tiny_profile, self.POINTS, jobs=1)
+        assert results == serial
+        assert "falling back to serial" in capsys.readouterr().err
+
+    def test_run_point_specs_materializes_each_trace_once(
+        self, tiny_trace, tiny_profile, monkeypatch
+    ):
+        spec = TraceSpec.inline(tiny_trace)
+        calls = {"n": 0}
+        original = TraceSpec.materialize
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(TraceSpec, "materialize", counting)
+        entries = [
+            (spec, p, tiny_profile.sim_config(
+                memory_kb=p.memory_kb, rate=p.rate, seed=p.seed))
+            for p in self.POINTS
+        ]
+        results = run_point_specs(entries, jobs=1)
+        assert len(results) == len(self.POINTS)
+        assert calls["n"] == 1
+
+
+class TestTraceSpec:
+    def test_profile_spec_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            TraceSpec.from_profile("NOPE", seed=1)
+        spec = TraceSpec.from_profile("dart", seed=3)
+        assert spec.kind == "profile" and spec.profile == "DART"
+        assert "DART" in spec.key and ":3:" in spec.key
+
+    def test_path_spec_round_trips_through_csv(self, tmp_path, shuttle_trace):
+        target = tmp_path / "shuttle.csv"
+        trace_io.dump_trace(shuttle_trace, target)
+        spec = TraceSpec.from_path(str(target))
+        loaded = spec.materialize()
+        assert loaded.records == shuttle_trace.records
+
+    def test_inline_spec_returns_the_trace(self, shuttle_trace):
+        spec = TraceSpec.inline(shuttle_trace)
+        assert spec.materialize() is shuttle_trace
+
+
+class TestSweepParallel:
+    def test_memory_sweep_jobs_equivalent(self, tiny_trace, tiny_profile):
+        kwargs = dict(
+            memories_kb=[500.0, 2000.0], rate=150.0,
+            protocols=["DTN-FLOW", "PROPHET"], seed=0,
+        )
+        serial = memory_sweep(tiny_trace, tiny_profile, jobs=1, **kwargs)
+        parallel = memory_sweep(tiny_trace, tiny_profile, jobs=2, **kwargs)
+        assert parallel.series == serial.series
+        assert parallel.values == serial.values
+        assert parallel.provenance == serial.provenance
+
+    def test_parallel_sweep_merges_phase_timings(self, tiny_trace, tiny_profile):
+        result = memory_sweep(
+            tiny_trace, tiny_profile,
+            memories_kb=[500.0, 2000.0], rate=150.0,
+            protocols=["DTN-FLOW"], jobs=2,
+        )
+        assert result.phase_timings, "worker phase timings were not merged back"
+        assert any(name.startswith("dispatch.") for name in result.phase_timings)
+        rows = result.phase_rows()
+        assert rows and all(len(r) == 3 for r in rows)
+
+
+def _summary(success=0.5, delay=100.0):
+    return MetricsSummary(
+        protocol="DTN-FLOW", trace="t", generated=10, delivered=5,
+        dropped_ttl=5, forwarding_ops=7, maintenance_ops=3,
+        success_rate=success, avg_delay=delay, overall_avg_delay=delay,
+        total_cost=10,
+    )
+
+
+class TestSweepResultErrors:
+    def test_empty_result_raises_value_error(self):
+        res = SweepResult(trace="t", parameter="rate", values=(1.0,))
+        with pytest.raises(ValueError, match="empty"):
+            res.mean_values("success_rate")
+        with pytest.raises(ValueError, match="empty"):
+            res.final_values("success_rate")
+
+    def test_empty_series_raises_value_error(self):
+        res = SweepResult(trace="t", parameter="rate", values=(1.0,))
+        res.series["DTN-FLOW"] = {m: [] for m in SweepResult.METRICS}
+        with pytest.raises(ValueError, match="no values recorded"):
+            res.mean_values("success_rate")
+        with pytest.raises(ValueError, match="no values recorded"):
+            res.final_values("success_rate")
+
+    def test_unknown_metric_raises(self):
+        res = SweepResult(trace="t", parameter="rate", values=(1.0,))
+        res.add("DTN-FLOW", _summary(), value=1.0)
+        with pytest.raises(ValueError, match="unknown metric"):
+            res.mean_values("bogus")
+
+    def test_provenance_rows_carry_sweep_value(self, tiny_trace, tiny_profile):
+        res = memory_sweep(
+            tiny_trace, tiny_profile,
+            memories_kb=[500.0, 2000.0], rate=150.0, protocols=["DTN-FLOW"],
+        )
+        rows = res.provenance["DTN-FLOW"]
+        assert [r["sweep_value"] for r in rows] == [500.0, 2000.0]
+        assert all(r["sweep_parameter"] == "memory_kb" for r in rows)
+
+    def test_handbuilt_summary_without_provenance(self):
+        res = SweepResult(trace="t", parameter="rate", values=(1.0,))
+        res.add("DTN-FLOW", _summary(), value=1.0)
+        assert res.provenance["DTN-FLOW"] == [None]
+        assert res.mean_values("success_rate")["DTN-FLOW"] == 0.5
