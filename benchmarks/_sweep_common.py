@@ -19,10 +19,9 @@ Shape criteria (what "reproduced" means for these four-panel figures):
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.eval.sweeps import SweepResult
-from repro.utils.tables import format_table, series_figure
+from repro.utils.tables import series_figure
 
 
 def render_sweep(result: SweepResult, caption: str) -> str:

@@ -29,6 +29,7 @@ import pytest
 
 from repro.eval.config import full_scale, trace_profile
 from repro.eval.runner import parse_jobs
+from repro.eval.scenario import preset_scenario, run_scenario
 from repro.mobility.trace import Trace
 
 _BENCH: Dict[str, object] = {"figures": {}, "extra": {}}
@@ -128,3 +129,16 @@ def emit(title: str, body: str) -> None:
     """Print a banner + body so the regenerated table stands out in logs."""
     bar = "=" * max(len(title), 30)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def run_preset_sweep(preset: str, *, jobs: int, trace: Trace):
+    """Run a named fig11-14 preset scenario and fold it to a SweepResult.
+
+    The Fig. 11-14 benchmarks are exactly the named preset scenarios — the
+    same declarative manifests ``repro scenario run`` executes — so the
+    benchmark parameters live in one place.  ``trace`` seeds the serial
+    path's cache with the session-scoped trace fixture (parallel workers
+    rebuild from the spec and keep their own per-worker cache).
+    """
+    spec = preset_scenario(preset)
+    return run_scenario(spec, jobs=jobs, trace=trace).sweep_result()

@@ -2,11 +2,9 @@
 
 Four panels: success rate, average delay, forwarding cost, total cost for
 the six methods, with memory swept over the paper's 1200-3000 kB range at
-packet rate 500/landmark/day.
+packet rate 500/landmark/day.  The workload is the ``fig11-dart-memory``
+preset scenario (``repro scenario run fig11-dart-memory`` reproduces it).
 """
-
-from repro.baselines import PAPER_PROTOCOLS
-from repro.eval.sweeps import memory_sweep
 
 from ._sweep_common import (
     assert_delay_ordering,
@@ -15,16 +13,12 @@ from ._sweep_common import (
     assert_success_ordering,
     render_sweep,
 )
-from .conftest import emit
+from .conftest import emit, run_preset_sweep
 
 
-def test_fig11_memory_sweep_dart(benchmark, dart_trace, dart_profile, memory_grid, jobs):
+def test_fig11_memory_sweep_dart(benchmark, dart_trace, jobs):
     def run():
-        return memory_sweep(
-            dart_trace, dart_profile,
-            memories_kb=memory_grid, rate=500.0,
-            protocols=PAPER_PROTOCOLS, seed=3, jobs=jobs,
-        )
+        return run_preset_sweep("fig11-dart-memory", jobs=jobs, trace=dart_trace)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

@@ -1,7 +1,8 @@
-"""Fig. 12 — performance vs node memory on the DNET-like trace."""
+"""Fig. 12 — performance vs node memory on the DNET-like trace.
 
-from repro.baselines import PAPER_PROTOCOLS
-from repro.eval.sweeps import memory_sweep
+The workload is the ``fig12-dnet-memory`` preset scenario
+(``repro scenario run fig12-dnet-memory`` reproduces it).
+"""
 
 from ._sweep_common import (
     assert_delay_ordering,
@@ -10,16 +11,12 @@ from ._sweep_common import (
     assert_success_ordering,
     render_sweep,
 )
-from .conftest import emit
+from .conftest import emit, run_preset_sweep
 
 
-def test_fig12_memory_sweep_dnet(benchmark, dnet_trace, dnet_profile, memory_grid, jobs):
+def test_fig12_memory_sweep_dnet(benchmark, dnet_trace, jobs):
     def run():
-        return memory_sweep(
-            dnet_trace, dnet_profile,
-            memories_kb=memory_grid, rate=500.0,
-            protocols=PAPER_PROTOCOLS, seed=3, jobs=jobs,
-        )
+        return run_preset_sweep("fig12-dnet-memory", jobs=jobs, trace=dnet_trace)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

@@ -1,7 +1,8 @@
-"""Fig. 13 — performance vs packet generation rate on the DART-like trace."""
+"""Fig. 13 — performance vs packet generation rate on the DART-like trace.
 
-from repro.baselines import PAPER_PROTOCOLS
-from repro.eval.sweeps import rate_sweep
+The workload is the ``fig13-dart-rate`` preset scenario
+(``repro scenario run fig13-dart-rate`` reproduces it).
+"""
 
 from ._sweep_common import (
     assert_delay_ordering,
@@ -10,16 +11,12 @@ from ._sweep_common import (
     assert_success_ordering,
     render_sweep,
 )
-from .conftest import emit
+from .conftest import emit, run_preset_sweep
 
 
-def test_fig13_rate_sweep_dart(benchmark, dart_trace, dart_profile, rate_grid, jobs):
+def test_fig13_rate_sweep_dart(benchmark, dart_trace, jobs):
     def run():
-        return rate_sweep(
-            dart_trace, dart_profile,
-            rates=rate_grid, memory_kb=2000.0,
-            protocols=PAPER_PROTOCOLS, seed=3, jobs=jobs,
-        )
+        return run_preset_sweep("fig13-dart-rate", jobs=jobs, trace=dart_trace)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

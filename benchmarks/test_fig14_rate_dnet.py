@@ -1,7 +1,8 @@
-"""Fig. 14 — performance vs packet generation rate on the DNET-like trace."""
+"""Fig. 14 — performance vs packet generation rate on the DNET-like trace.
 
-from repro.baselines import PAPER_PROTOCOLS
-from repro.eval.sweeps import rate_sweep
+The workload is the ``fig14-dnet-rate`` preset scenario
+(``repro scenario run fig14-dnet-rate`` reproduces it).
+"""
 
 from ._sweep_common import (
     assert_delay_ordering,
@@ -9,16 +10,12 @@ from ._sweep_common import (
     assert_success_ordering,
     render_sweep,
 )
-from .conftest import emit
+from .conftest import emit, run_preset_sweep
 
 
-def test_fig14_rate_sweep_dnet(benchmark, dnet_trace, dnet_profile, rate_grid, jobs):
+def test_fig14_rate_sweep_dnet(benchmark, dnet_trace, jobs):
     def run():
-        return rate_sweep(
-            dnet_trace, dnet_profile,
-            rates=rate_grid, memory_kb=2000.0,
-            protocols=PAPER_PROTOCOLS, seed=3, jobs=jobs,
-        )
+        return run_preset_sweep("fig14-dnet-rate", jobs=jobs, trace=dnet_trace)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

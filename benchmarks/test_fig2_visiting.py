@@ -5,7 +5,6 @@ frequently.  The figure plots, per landmark, the per-node visit counts in
 decreasing order; the shape criterion is a steep head and a long low tail.
 """
 
-import numpy as np
 
 from repro.mobility import stats
 from repro.utils.tables import format_table
@@ -22,7 +21,6 @@ def test_fig2_dart(benchmark, dart_trace):
     rows = []
     for lm, counts in dist:
         head = max(1, len(counts) // 4)
-        share = stats.skewness_ratio(counts, frequent_quantile=0.75)
         rows.append(
             [lm, int(counts.sum()), int(counts[0]), round(float(counts[:head].sum() / counts.sum()), 3)]
         )

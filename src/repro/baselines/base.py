@@ -23,7 +23,7 @@ with n entries".
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.obs import event_types as ev
 from repro.sim.engine import RoutingProtocol, World

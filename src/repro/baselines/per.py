@@ -21,7 +21,6 @@ from repro.baselines.base import UtilityProtocol
 from repro.mobility.trace import days
 from repro.sim.engine import World
 from repro.sim.entities import LandmarkStation, MobileNode
-from repro.sim.packets import Packet
 from repro.utils.validation import require_positive
 
 

@@ -13,7 +13,6 @@ the packet id, so the engine's delivered/dropped dedupe machinery applies.
 from __future__ import annotations
 
 import copy
-from typing import Optional
 
 from repro.sim.engine import RoutingProtocol, World
 from repro.sim.entities import LandmarkStation, MobileNode

@@ -6,6 +6,8 @@ Commands
 ``run``         one experiment (trace x protocol x memory x rate)
 ``compare``     all six paper protocols on the same workload
 ``sweep``       the Fig. 11-14 memory/rate sweeps
+``scenario``    run/validate/show declarative scenario manifests
+``rerun``       reproduce a past run from its exported provenance
 ``deployment``  the Section V-C campus deployment
 ``predict``     the Fig. 6 order-k prediction study
 ``trace``       replay a run with event tracing; follow a packet hop-by-hop
@@ -15,8 +17,11 @@ Traces are either the built-in profiles (``dart``, ``dnet``) or a CSV file
 written by :func:`repro.mobility.io.dump_trace` (pass a path).
 
 ``run`` and ``compare`` accept ``--json`` for machine-readable output; the
-rows carry full run provenance (config, seed, package version) so result
-files are self-describing.
+rows carry full run provenance (config, seed, package version, resolved
+scenario) so result files are self-describing — ``repro rerun`` turns any
+such file back into the bit-identical experiment that produced it.
+``run``, ``compare`` and ``sweep`` also accept ``--scenario FILE`` to take
+their whole configuration from a manifest (see ``docs/scenarios.md``).
 """
 
 from __future__ import annotations
@@ -28,16 +33,23 @@ from typing import List, Optional, Sequence
 
 from repro.baselines import PAPER_PROTOCOLS, make_protocol, protocol_names
 from repro.core import evaluate_predictor
-from repro.eval.config import TraceProfile, trace_profile
+from repro.eval.config import profile_for_trace, trace_profile
 from repro.eval.confidence import run_with_confidence
 from repro.eval.deployment import run_deployment
 from repro.eval.experiment import run_matrix
 from repro.eval.runner import PointSpec, TraceSpec, parse_jobs, run_points
+from repro.eval.scenario import (
+    ScenarioResult,
+    ScenarioSpec,
+    load_scenario,
+    preset_names,
+    rerun_scenario,
+    run_scenario,
+)
 from repro.eval.sweeps import memory_sweep, rate_sweep
 from repro.mobility import io as trace_io
 from repro.mobility import stats
-from repro.mobility.trace import Trace, days
-from repro.obs import ALL_EVENTS, EventLog, Observability
+from repro.obs import ALL_EVENTS, Observability
 from repro.sim.engine import Simulation
 from repro.utils.tables import format_table
 
@@ -53,16 +65,7 @@ def _resolve_trace(spec: str, seed: int) -> tuple:
         profile = trace_profile(key)
         return profile.build(seed), profile, TraceSpec.from_profile(key, seed)
     trace = trace_io.load_trace(spec)
-    # generic profile for external traces: day-scale time unit, 1/5 of the
-    # trace duration as TTL
-    profile = TraceProfile(
-        name=trace.name,
-        build=lambda s: trace,
-        ttl=max(days(0.5), trace.duration / 5.0),
-        time_unit=max(days(0.25), trace.duration / 20.0),
-        workload_scale=1.0,
-        memory_pressure=1.0,
-    )
+    profile = profile_for_trace(trace, path=spec)
     return trace, profile, TraceSpec.from_path(spec)
 
 
@@ -84,7 +87,95 @@ def cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ScenarioArgError(Exception):
+    """A scenario argument failed to load/validate (prints as exit code 2)."""
+
+
+def _load_scenario_arg(source: str) -> ScenarioSpec:
+    """Load + fully validate a manifest path or preset name (CLI wrapper)."""
+    try:
+        return load_scenario(source).validate()
+    except ValueError as exc:
+        raise _ScenarioArgError(f"invalid scenario {source!r}: {exc}") from None
+
+
+def _print_metrics_table(result, title: str) -> None:
+    rows = [
+        ["packets generated", result.generated],
+        ["delivered", result.delivered],
+        ["success rate", f"{result.success_rate:.4f}"],
+        ["avg delay (h)", f"{result.avg_delay / 3600:.2f}"],
+        ["forwarding ops", result.forwarding_ops],
+        ["maintenance ops", result.maintenance_ops],
+        ["total cost", result.total_cost],
+    ]
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _print_scenario_result(res: ScenarioResult) -> None:
+    """Human-readable rendering of a scenario run (any grid shape)."""
+    spec = res.spec
+    label = spec.name or "scenario"
+    if spec.sweep is not None and len(spec.seeds) == 1:
+        sweep = res.sweep_result()
+        for metric in sweep.METRICS:
+            print(sweep.metric_table(metric))
+            print()
+        return
+    rows = []
+    for point, r in zip(res.points, res.results):
+        m = r.metrics
+        rows.append([
+            point.protocol, f"{point.memory_kb:g}", f"{point.rate:g}", point.seed,
+            f"{m.success_rate:.3f}", f"{m.avg_delay / 3600:.1f}",
+            m.forwarding_ops, m.total_cost,
+        ])
+    print(format_table(
+        ["protocol", "memory_kb", "rate", "seed",
+         "success rate", "avg delay (h)", "fwd ops", "total cost"],
+        rows,
+        title=f"{label} ({res.results[0].trace if res.results else spec.trace}):",
+    ))
+    if len(spec.seeds) > 1:
+        ci_rows = []
+        for protocol, cis in res.confidence().items():
+            ci_rows.append([
+                protocol,
+                str(cis["success_rate"]),
+                f"{cis['avg_delay'].mean / 3600:.1f} ± "
+                f"{cis['avg_delay'].half_width / 3600:.1f}",
+                str(cis["forwarding_ops"]),
+                str(cis["total_cost"]),
+            ])
+        print()
+        print(format_table(
+            ["protocol", "success rate", "avg delay (h)", "fwd ops", "total cost"],
+            ci_rows,
+            title=f"95% confidence over seeds {list(spec.seeds)}:",
+        ))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario:
+        spec = _load_scenario_arg(args.scenario)
+        if spec.n_points() != 1:
+            print(
+                f"repro run --scenario needs a single-point scenario; "
+                f"{args.scenario!r} resolves to {spec.n_points()} points "
+                "(use 'repro scenario run' for grids)",
+                file=sys.stderr,
+            )
+            return 2
+        res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+        result = res.results[0].metrics
+        point = res.points[0]
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+            return 0
+        _print_metrics_table(
+            result, f"{point.protocol} on {res.results[0].trace}:"
+        )
+        return 0
     trace, profile, tspec = _resolve_trace(args.trace, args.seed)
     point = PointSpec(
         protocol=args.protocol, memory_kb=args.memory, rate=args.rate, seed=args.seed
@@ -95,21 +186,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         return 0
-    rows = [
-        ["packets generated", result.generated],
-        ["delivered", result.delivered],
-        ["success rate", f"{result.success_rate:.4f}"],
-        ["avg delay (h)", f"{result.avg_delay / 3600:.2f}"],
-        ["forwarding ops", result.forwarding_ops],
-        ["maintenance ops", result.maintenance_ops],
-        ["total cost", result.total_cost],
-    ]
-    print(format_table(["metric", "value"], rows,
-                       title=f"{args.protocol} on {trace.name}:"))
+    _print_metrics_table(result, f"{args.protocol} on {trace.name}:")
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.scenario:
+        spec = _load_scenario_arg(args.scenario)
+        res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+        if args.json:
+            print(json.dumps(res.as_dict(), indent=2, sort_keys=True))
+            return 0
+        _print_scenario_result(res)
+        return 0
     trace, profile, tspec = _resolve_trace(args.trace, args.seed)
     jobs = parse_jobs(args.jobs)
     rows = []
@@ -165,9 +254,45 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sweep_result(result) -> None:
+    for metric in ("success_rate", "avg_delay", "forwarding_cost", "total_cost"):
+        print(result.metric_table(metric))
+        print()
+    timing_rows = [list(r) for r in result.phase_rows()]
+    if timing_rows:
+        print(format_table(
+            ["phase", "seconds", "calls"], timing_rows,
+            title="phase timings (wall-clock, merged over all points):",
+        ))
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    trace, profile, tspec = _resolve_trace(args.trace, args.seed)
     jobs = parse_jobs(args.jobs)
+    if args.scenario:
+        spec = _load_scenario_arg(args.scenario)
+        if spec.sweep is None:
+            print(
+                f"repro sweep --scenario needs a manifest with a 'sweep' "
+                f"block; {args.scenario!r} has none",
+                file=sys.stderr,
+            )
+            return 2
+        if len(spec.seeds) != 1:
+            print(
+                "repro sweep --scenario needs a single-seed scenario "
+                f"(got seeds {list(spec.seeds)}); use 'repro scenario run' "
+                "for multi-seed grids",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_scenario(spec, jobs=jobs).sweep_result()
+        _print_sweep_result(result)
+        return 0
+    if args.parameter is None:
+        print("repro sweep needs a parameter (memory|rate) or --scenario FILE",
+              file=sys.stderr)
+        return 2
+    trace, profile, tspec = _resolve_trace(args.trace, args.seed)
     protocols = args.protocols.split(",") if args.protocols else list(PAPER_PROTOCOLS)
     if args.parameter == "memory":
         values = [float(v) for v in (args.values.split(",") if args.values else
@@ -181,15 +306,69 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         result = rate_sweep(trace, profile, rates=values,
                             memory_kb=args.memory, protocols=protocols, seed=args.seed,
                             jobs=jobs, trace_spec=tspec)
-    for metric in ("success_rate", "avg_delay", "forwarding_cost", "total_cost"):
-        print(result.metric_table(metric))
-        print()
-    timing_rows = [list(r) for r in result.phase_rows()]
-    if timing_rows:
+    _print_sweep_result(result)
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.action == "list":
         print(format_table(
-            ["phase", "seconds", "calls"], timing_rows,
-            title="phase timings (wall-clock, merged over all points):",
+            ["preset"], [[n] for n in preset_names()],
+            title="named preset scenarios:",
         ))
+        return 0
+    if not args.sources:
+        print("give at least one scenario file or preset name", file=sys.stderr)
+        return 2
+    if args.action == "validate":
+        failed = 0
+        for source in args.sources:
+            try:
+                spec = _load_scenario_arg(source)
+            except _ScenarioArgError as exc:
+                print(f"{source}: INVALID — {exc}")
+                failed += 1
+            else:
+                print(f"{source}: OK ({spec.n_points()} grid points)")
+        return 1 if failed else 0
+    if len(args.sources) != 1:
+        print(f"scenario {args.action} takes exactly one scenario", file=sys.stderr)
+        return 2
+    spec = _load_scenario_arg(args.sources[0])
+    if args.action == "show":
+        print(spec.to_json())
+        return 0
+    # action == "run"
+    res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+    payload = res.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(res.results)} results to {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not args.out:
+        _print_scenario_result(res)
+    return 0
+
+
+def cmd_rerun(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            print(f"{args.file} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    try:
+        res = rerun_scenario(payload, index=args.index, jobs=parse_jobs(args.jobs))
+    except ValueError as exc:
+        print(f"cannot rerun from {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(res.as_dict(), indent=2, sort_keys=True))
+        return 0
+    _print_scenario_result(res)
     return 0
 
 
@@ -400,10 +579,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for independent experiment "
                             "points ('auto' = all cores; default 1 = serial)")
 
+    def add_scenario_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scenario", default=None, metavar="FILE",
+                       help="take the whole configuration from a scenario "
+                            "manifest (JSON file or preset name); other "
+                            "trace/workload flags are ignored")
+
     p = sub.add_parser("run", help="run one protocol on one workload")
     add_common(p)
     add_workload(p)
     add_jobs(p)
+    add_scenario_opt(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_run)
@@ -415,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=1,
                    help="number of workload seeds (>1 adds 95%% CIs)")
     add_jobs(p)
+    add_scenario_opt(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_compare)
@@ -452,13 +639,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="memory or rate sweep (Figs. 11-14)")
     add_common(p)
-    p.add_argument("parameter", choices=["memory", "rate"])
+    p.add_argument("parameter", nargs="?", choices=["memory", "rate"],
+                   help="swept axis (omit when using --scenario)")
     p.add_argument("--values", default=None, help="comma-separated sweep values")
     p.add_argument("--memory", type=float, default=2000.0)
     p.add_argument("--rate", type=float, default=500.0)
     p.add_argument("--protocols", default=None, help="comma-separated protocol names")
     add_jobs(p)
+    add_scenario_opt(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "scenario",
+        help="run/validate/show declarative scenario manifests",
+        description="Declarative experiment scenarios: JSON manifests or "
+                    "named presets (see docs/scenarios.md).",
+    )
+    p.add_argument("action", choices=["run", "validate", "show", "list"])
+    p.add_argument("sources", nargs="*", metavar="SCENARIO",
+                   help="scenario JSON file(s) or preset name(s)")
+    add_jobs(p)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="(run) write the full results JSON to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="(run) print the full results JSON to stdout")
+    p.set_defaults(func=cmd_scenario)
+
+    p = sub.add_parser(
+        "rerun",
+        help="reproduce a past run from its exported provenance",
+        description="Re-run the scenario embedded in an exported JSON file "
+                    "(repro run/compare --json output, a provenance dict, or "
+                    "repro scenario run --out). Results are bit-identical to "
+                    "the original run.",
+    )
+    p.add_argument("file", help="JSON file carrying an embedded scenario")
+    p.add_argument("--index", type=int, default=0,
+                   help="which embedded scenario to rerun (default: first)")
+    add_jobs(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the reproduced results as JSON")
+    p.set_defaults(func=cmd_rerun)
 
     p = sub.add_parser("deployment", help="the Section V-C campus deployment")
     p.add_argument("--days", type=int, default=6)
@@ -475,7 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _ScenarioArgError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

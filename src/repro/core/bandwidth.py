@@ -29,7 +29,7 @@ needs: delay is inversely proportional to measured bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.utils.validation import require_in_range, require_positive

@@ -18,7 +18,6 @@ accumulated enough historical records"), preventing false positives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.utils.validation import require_positive

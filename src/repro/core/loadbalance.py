@@ -12,7 +12,7 @@ diverted to the backup next hop kept in the expanded routing table
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.utils.ewma import Ewma
 from repro.utils.validation import require_positive

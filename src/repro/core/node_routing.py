@@ -15,7 +15,7 @@ handed over when the node connects there.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.utils.validation import require_positive
 

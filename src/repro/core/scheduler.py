@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.sim.packets import Packet
-from repro.utils.validation import require_in_range, require_positive
+from repro.utils.validation import require_positive
 
 UPLOAD = "upload"
 FORWARD = "forward"

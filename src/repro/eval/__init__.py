@@ -6,6 +6,7 @@ from repro.eval.config import (
     RATE_SWEEP,
     TraceProfile,
     full_scale,
+    profile_for_trace,
     trace_profile,
 )
 from repro.eval.confidence import MetricCI, confidence_interval, run_with_confidence
@@ -28,9 +29,32 @@ from repro.eval.runner import (
     run_point_specs,
     run_points,
 )
+from repro.eval.scenario import (
+    ProtocolSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioTrace,
+    SweepSpec,
+    extract_scenarios,
+    load_scenario,
+    preset_names,
+    preset_scenario,
+    run_scenario,
+)
 from repro.eval.sweeps import SweepResult, memory_sweep, rate_sweep
 
 __all__ = [
+    "ProtocolSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioTrace",
+    "SweepSpec",
+    "extract_scenarios",
+    "load_scenario",
+    "preset_names",
+    "preset_scenario",
+    "profile_for_trace",
+    "run_scenario",
     "PointSpec",
     "TraceSpec",
     "parse_jobs",

@@ -20,28 +20,67 @@ buffer slot) comparable to the paper's, which is what the memory sweeps
 probe.  Benchmarks print nominal (paper-unit) parameters.
 
 Set the environment variable ``REPRO_FULL_SCALE=1`` to run paper-scale
-traces and workloads (slow: minutes per protocol per point).
+traces and workloads (slow: minutes per protocol per point).  The flag is
+resolved **once per process** (first call to :func:`full_scale`) so a
+mid-run environment change can never mix scales within one sweep; callers
+that need an explicit scale pass ``full_scale=`` to :func:`trace_profile`
+(scenario manifests thread it through their ``trace`` block).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.mobility.trace import Trace, days
 from repro.mobility.synthetic import dart_like, dnet_like
 from repro.sim.engine import SimConfig
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenario -> config)
+    from repro.eval.scenario import ScenarioSpec
+
+#: process-wide resolution of REPRO_FULL_SCALE; None = not yet read
+_FULL_SCALE: Optional[bool] = None
+
 
 def full_scale() -> bool:
-    """Whether paper-scale experiments were requested via REPRO_FULL_SCALE."""
-    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "no")
+    """Whether paper-scale experiments were requested via REPRO_FULL_SCALE.
+
+    The environment variable is read once per process and cached; later
+    environment changes are ignored (a sweep can therefore never mix
+    scales).  Tests use :func:`_reset_full_scale_cache` to re-read it.
+    """
+    global _FULL_SCALE
+    if _FULL_SCALE is None:
+        _FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "0") not in (
+            "",
+            "0",
+            "false",
+            "no",
+        )
+    return _FULL_SCALE
+
+
+def _reset_full_scale_cache() -> None:
+    """Forget the cached REPRO_FULL_SCALE resolution (test helper)."""
+    global _FULL_SCALE
+    _FULL_SCALE = None
+
+
+# alias for functions whose parameters shadow the name
+_resolve_full_scale = full_scale
 
 
 @dataclass(frozen=True)
 class TraceProfile:
-    """Everything trace-specific an experiment needs."""
+    """Everything trace-specific an experiment needs.
+
+    A profile is a thin *preset*: it resolves the trace-dependent paper
+    parameters (TTL, time unit, workload scale) and can emit a declarative
+    :class:`~repro.eval.scenario.ScenarioSpec` via :meth:`scenario` — the
+    serializable form every runner consumes.
+    """
 
     name: str
     build: Callable[[int], Trace]  # seed -> trace
@@ -53,6 +92,13 @@ class TraceProfile:
     #: default 2000 kB sits in the paper's contention regime (Section V runs
     #: with memory as the binding resource across the whole sweep)
     memory_pressure: float = 0.25
+    #: registry key ("DART"/"DNET") when this profile is a built-in preset;
+    #: empty for ad-hoc profiles built around an in-memory trace
+    key: str = ""
+    #: CSV path when this profile wraps an external trace file
+    source_path: Optional[str] = None
+    #: the scale this profile was resolved at (None = ad-hoc profile)
+    full: Optional[bool] = None
 
     def sim_config(
         self,
@@ -73,9 +119,72 @@ class TraceProfile:
             seed=seed,
         )
 
+    def trace_field(self, seed: int) -> Optional[Dict[str, object]]:
+        """The scenario ``trace`` block reproducing this profile's trace.
 
-def _dart_profile() -> TraceProfile:
-    if full_scale():
+        ``None`` when the profile wraps an in-memory trace that has no
+        serializable recipe (runs still work, they just cannot be re-run
+        from provenance alone).
+        """
+        if self.key:
+            return {
+                "profile": self.key,
+                "seed": int(seed),
+                "full_scale": bool(self.full if self.full is not None else full_scale()),
+            }
+        if self.source_path is not None:
+            return {"path": str(self.source_path)}
+        return None
+
+    def scenario(
+        self,
+        *,
+        protocols: Sequence[object] = ("DTN-FLOW",),
+        seeds: Sequence[int] = (1,),
+        trace_seed: int = 1,
+        memory_kb: float = 2000.0,
+        rate: float = 500.0,
+        sweep: Optional[Dict[str, object]] = None,
+        name: str = "",
+    ) -> "ScenarioSpec":
+        """Emit a :class:`~repro.eval.scenario.ScenarioSpec` for this preset."""
+        from repro.eval.scenario import ScenarioSpec
+
+        trace_block = self.trace_field(trace_seed)
+        if trace_block is None:
+            raise ValueError(
+                f"profile {self.name!r} wraps an in-memory trace and cannot "
+                "emit a serializable scenario; load the trace from a CSV path "
+                "or use a built-in profile (DART/DNET)"
+            )
+        return ScenarioSpec.from_dict(
+            {
+                "name": name,
+                "trace": trace_block,
+                "sim": {"memory_kb": memory_kb, "rate": rate},
+                "protocols": list(protocols),
+                "seeds": list(seeds),
+                **({"sweep": sweep} if sweep else {}),
+            }
+        )
+
+
+def profile_for_trace(trace: Trace, *, path: Optional[str] = None) -> TraceProfile:
+    """A generic profile for an external trace: day-scale time unit, 1/5 of
+    the trace duration as TTL (the CLI's rule for CSV traces)."""
+    return TraceProfile(
+        name=trace.name,
+        build=lambda s: trace,
+        ttl=max(days(0.5), trace.duration / 5.0),
+        time_unit=max(days(0.25), trace.duration / 20.0),
+        workload_scale=1.0,
+        memory_pressure=1.0,
+        source_path=str(path) if path is not None else None,
+    )
+
+
+def _dart_profile(full: bool) -> TraceProfile:
+    if full:
         return TraceProfile(
             name="DART-like",
             build=lambda seed: dart_like("full", seed=seed),
@@ -86,6 +195,8 @@ def _dart_profile() -> TraceProfile:
             # (2000 kB -> ~10 packet slots per node)
             workload_scale=0.0025,
             memory_pressure=2.0,
+            key="DART",
+            full=True,
         )
     return TraceProfile(
         name="DART-like",
@@ -94,11 +205,13 @@ def _dart_profile() -> TraceProfile:
         time_unit=days(3.0),
         workload_scale=0.01,
         memory_pressure=0.5,
+        key="DART",
+        full=False,
     )
 
 
-def _dnet_profile() -> TraceProfile:
-    if full_scale():
+def _dnet_profile(full: bool) -> TraceProfile:
+    if full:
         return TraceProfile(
             name="DNET-like",
             build=lambda seed: dnet_like("full", seed=seed),
@@ -106,6 +219,8 @@ def _dnet_profile() -> TraceProfile:
             time_unit=days(0.5),
             workload_scale=0.02,
             memory_pressure=0.15,
+            key="DNET",
+            full=True,
         )
     return TraceProfile(
         name="DNET-like",
@@ -114,21 +229,29 @@ def _dnet_profile() -> TraceProfile:
         time_unit=days(0.5),
         workload_scale=0.03,
         memory_pressure=0.15,
+        key="DNET",
+        full=False,
     )
 
 
-_PROFILES: Dict[str, Callable[[], TraceProfile]] = {
+_PROFILES: Dict[str, Callable[[bool], TraceProfile]] = {
     "DART": _dart_profile,
     "DNET": _dnet_profile,
 }
 
 
-def trace_profile(name: str) -> TraceProfile:
-    """Get the experiment profile for ``"DART"`` or ``"DNET"``."""
+def trace_profile(name: str, *, full_scale: Optional[bool] = None) -> TraceProfile:
+    """Get the experiment profile for ``"DART"`` or ``"DNET"``.
+
+    ``full_scale`` pins the scale explicitly; ``None`` (default) uses the
+    process-wide REPRO_FULL_SCALE resolution.
+    """
     try:
-        return _PROFILES[name]()
+        builder = _PROFILES[name]
     except KeyError:
         raise ValueError(f"unknown trace profile {name!r}; options: DART, DNET") from None
+    resolved = _resolve_full_scale() if full_scale is None else bool(full_scale)
+    return builder(resolved)
 
 
 #: the paper's memory sweep, in kB (Fig. 11/12 x-axis)

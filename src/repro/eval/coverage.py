@@ -13,7 +13,7 @@ Both should climb to ~1 after the first few observation points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -33,15 +33,18 @@ def execute_config(
     rate: float,
     seed: int,
     protocol_kwargs: Optional[dict] = None,
+    scenario: Optional[dict] = None,
 ) -> ExperimentResult:
     """Run one experiment from a fully-resolved :class:`SimConfig`.
 
     This is the single execution path shared by the serial runners and the
     parallel executor's workers (``repro.eval.runner``): a config resolved
     once in the parent yields bit-identical results wherever it runs.
+    ``scenario`` (a resolved-scenario dict) is stamped into the run's
+    provenance for exact reruns.
     """
     protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
-    summary = Simulation(trace, protocol, config).run()
+    summary = Simulation(trace, protocol, config, scenario=scenario).run()
     return ExperimentResult(
         protocol=protocol_name,
         trace=trace.name,

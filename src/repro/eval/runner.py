@@ -23,22 +23,26 @@ the parent before dispatch (profiles hold non-picklable builder closures;
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.eval.config import TraceProfile, full_scale, trace_profile
+from repro.eval.config import TraceProfile, trace_profile
+from repro.eval.config import full_scale as _resolve_full_scale
 from repro.eval.experiment import ExperimentResult, execute_config
 from repro.mobility.trace import Trace
+from repro.obs.provenance import _jsonable
 from repro.sim.engine import SimConfig
 
 __all__ = [
     "PointSpec",
     "TraceSpec",
     "parse_jobs",
+    "point_scenario_dict",
     "run_point_specs",
     "run_points",
 ]
@@ -89,13 +93,19 @@ class TraceSpec:
     seed: int = 0
     path: Optional[str] = None
     trace: Optional[Trace] = None
+    #: the scale a profile spec was resolved at in the parent; pinned here so
+    #: a worker whose environment differs can never rebuild at the wrong scale
+    full: Optional[bool] = None
 
     @classmethod
-    def from_profile(cls, name: str, seed: int) -> "TraceSpec":
+    def from_profile(
+        cls, name: str, seed: int, *, full_scale: Optional[bool] = None
+    ) -> "TraceSpec":
         name = name.upper()
-        trace_profile(name)  # validate eagerly, in the parent
-        key = f"profile:{name}:{seed}:full={int(full_scale())}"
-        return cls(kind="profile", key=key, profile=name, seed=seed)
+        resolved = _resolve_full_scale() if full_scale is None else bool(full_scale)
+        trace_profile(name, full_scale=resolved)  # validate eagerly, in the parent
+        key = f"profile:{name}:{seed}:full={int(resolved)}"
+        return cls(kind="profile", key=key, profile=name, seed=seed, full=resolved)
 
     @classmethod
     def from_path(cls, path: str) -> "TraceSpec":
@@ -109,7 +119,7 @@ class TraceSpec:
 
     def materialize(self) -> Trace:
         if self.kind == "profile":
-            return trace_profile(self.profile).build(self.seed)
+            return trace_profile(self.profile, full_scale=self.full).build(self.seed)
         if self.kind == "path":
             from repro.mobility import io as trace_io
 
@@ -123,13 +133,60 @@ class TraceSpec:
 
 @dataclass(frozen=True)
 class PointSpec:
-    """One experiment point: protocol + workload knobs (trace given aside)."""
+    """One experiment point: protocol + workload knobs (trace given aside).
+
+    ``scenario`` optionally carries the point's fully-resolved scenario dict
+    (see :func:`point_scenario_dict`); it is stamped into the run's
+    provenance so ``repro rerun`` can reproduce the point bit-for-bit.
+    """
 
     protocol: str
     memory_kb: float = 2000.0
     rate: float = 500.0
     seed: int = 0
     protocol_kwargs: Optional[dict] = None
+    scenario: Optional[dict] = None
+
+
+def point_scenario_dict(
+    trace_spec: "TraceSpec", point: "PointSpec", config: SimConfig
+) -> Optional[Dict[str, Any]]:
+    """The canonical resolved-scenario dict for one experiment point.
+
+    This is the single source of the provenance-embedded scenario shape, so
+    a rerun (which resolves the dict back into identical inputs) re-emits an
+    identical dict.  ``None`` when the trace has no serializable recipe
+    (inline traces cannot be re-materialized from JSON).
+    """
+    if trace_spec.kind == "profile":
+        trace_block: Dict[str, Any] = {
+            "profile": trace_spec.profile,
+            "seed": int(trace_spec.seed),
+            "full_scale": bool(
+                trace_spec.full if trace_spec.full is not None else _resolve_full_scale()
+            ),
+        }
+    elif trace_spec.kind == "path":
+        trace_block = {"path": str(trace_spec.path)}
+    else:
+        return None
+    sim = {
+        f: v for f, v in dataclasses.asdict(config).items() if f != "seed"
+    }
+    protocol_config = dict(point.protocol_kwargs or {})
+    if "config" in protocol_config and dataclasses.is_dataclass(
+        protocol_config["config"]
+    ):
+        # flatten a prebuilt config dataclass into its JSON field form
+        protocol_config = dataclasses.asdict(protocol_config["config"])
+    return _jsonable(
+        {
+            "trace": trace_block,
+            "sim": sim,
+            "protocol": {"name": point.protocol, "config": protocol_config},
+            "seeds": [int(point.seed)],
+        }
+    )
 
 
 #: one work item: which trace, which point, with which resolved config
@@ -173,6 +230,7 @@ def _run_task(
         rate=point.rate,
         seed=point.seed,
         protocol_kwargs=point.protocol_kwargs,
+        scenario=point.scenario,
     )
 
 
@@ -214,6 +272,7 @@ def _run_serial(
                 rate=point.rate,
                 seed=point.seed,
                 protocol_kwargs=point.protocol_kwargs,
+                scenario=point.scenario,
             )
         )
     return out
@@ -264,14 +323,16 @@ def run_points(
     worker; by default the trace itself is shipped once per worker.
     """
     spec = trace_spec if trace_spec is not None else TraceSpec.inline(trace)
-    entries: List[Entry] = [
-        (
-            spec,
-            point,
-            profile.sim_config(
-                memory_kb=point.memory_kb, rate=point.rate, seed=point.seed
-            ),
+    entries: List[Entry] = []
+    for point in points:
+        config = profile.sim_config(
+            memory_kb=point.memory_kb, rate=point.rate, seed=point.seed
         )
-        for point in points
-    ]
+        if point.scenario is None:
+            # stamp the resolved scenario so every profile/path-backed run is
+            # re-runnable from its provenance alone (inline traces yield None)
+            point = dataclasses.replace(
+                point, scenario=point_scenario_dict(spec, point, config)
+            )
+        entries.append((spec, point, config))
     return run_point_specs(entries, jobs=jobs, materialized={spec.key: trace})

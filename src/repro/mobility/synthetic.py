@@ -28,7 +28,7 @@ order-2/3, as the paper observes in Fig. 6(a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -45,11 +45,21 @@ class RunProvenance:
     trace: str
     seed: int
     config: Dict[str, Any] = field(default_factory=dict)
+    #: the resolved scenario this run materialized from (repro.eval.scenario);
+    #: ``repro rerun`` rebuilds a bit-identical run from this dict alone
+    scenario: Optional[Dict[str, Any]] = None
     package_version: str = field(default_factory=package_version)
     python_version: str = field(default_factory=platform.python_version)
 
     @classmethod
-    def from_run(cls, protocol: str, trace: str, config: Any) -> "RunProvenance":
+    def from_run(
+        cls,
+        protocol: str,
+        trace: str,
+        config: Any,
+        *,
+        scenario: Optional[Dict[str, Any]] = None,
+    ) -> "RunProvenance":
         """Build provenance from a protocol name, trace name and SimConfig."""
         if dataclasses.is_dataclass(config) and not isinstance(config, type):
             cfg = _jsonable(dataclasses.asdict(config))
@@ -60,7 +70,13 @@ class RunProvenance:
         else:
             cfg = {"repr": repr(config)}
             seed = 0
-        return cls(protocol=protocol, trace=trace, seed=int(seed), config=cfg)
+        return cls(
+            protocol=protocol,
+            trace=trace,
+            seed=int(seed),
+            config=cfg,
+            scenario=_jsonable(scenario) if scenario is not None else None,
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -68,6 +84,7 @@ class RunProvenance:
             "trace": self.trace,
             "seed": self.seed,
             "config": dict(self.config),
+            "scenario": dict(self.scenario) if self.scenario is not None else None,
             "package_version": self.package_version,
             "python_version": self.python_version,
         }

@@ -23,20 +23,24 @@ trace to construct routing tables).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.mobility.trace import SECONDS_PER_DAY, Trace, days
+from repro.mobility.trace import Trace, days
 from repro.obs import event_types as ev
 from repro.obs.provenance import RunProvenance
 from repro.obs.runtime import Observability
 from repro.sim.entities import LandmarkStation, MobileNode
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.packets import GenerationEvent, Packet, PacketFactory, generate_workload
-from repro.utils.validation import require_in_range, require_positive
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
 
 
 @dataclass
@@ -87,10 +91,19 @@ class SimConfig:
 
     def __post_init__(self) -> None:
         require_positive("node_memory_kb", self.node_memory_kb)
+        require_positive("packet_size", self.packet_size)
         require_positive("ttl", self.ttl)
+        require_non_negative(
+            "rate_per_landmark_per_day", self.rate_per_landmark_per_day
+        )
         require_positive("workload_scale", self.workload_scale)
+        if self.memory_scale is not None:
+            require_positive("memory_scale", self.memory_scale)
         require_in_range("warmup_fraction", self.warmup_fraction, 0.0, 0.95)
         require_in_range("contact_prob", self.contact_prob, 0.0, 1.0)
+        if self.link_rate_bytes_per_sec is not None:
+            require_positive("link_rate_bytes_per_sec", self.link_rate_bytes_per_sec)
+        require_in_range("ttl_jitter", self.ttl_jitter, 0.0, 1.0, inclusive_high=False)
         require_in_range(
             "generation_end_fraction", self.generation_end_fraction, 0.0, 1.0
         )
@@ -358,6 +371,11 @@ class Simulation:
     callback receives the :class:`World` when simulation time passes its
     timestamp — used e.g. to sample routing-table coverage at the paper's
     ten observation points (Fig. 8).
+
+    ``scenario`` is an optional resolved-scenario dict (see
+    :mod:`repro.eval.scenario`); the engine does not interpret it, it only
+    stamps it into the run's :class:`~repro.obs.provenance.RunProvenance`
+    so ``repro rerun`` can reproduce the run from its output alone.
     """
 
     def __init__(
@@ -367,6 +385,7 @@ class Simulation:
         config: SimConfig,
         probes: Optional[Sequence[Tuple[float, object]]] = None,
         obs: Optional[Observability] = None,
+        scenario: Optional[dict] = None,
     ) -> None:
         if trace.n_landmarks < 2:
             raise ValueError("need at least two landmarks to route between")
@@ -382,6 +401,7 @@ class Simulation:
             rng=np.random.default_rng(config.seed + 424243),
         )
         self.probes = list(probes or [])
+        self.scenario = scenario
 
     # -- event assembly -----------------------------------------------------------
     def _events(self) -> List[Tuple[float, int, int, object]]:
@@ -544,7 +564,7 @@ class Simulation:
         with prof.phase("finalize"):
             self.protocol.finalize(world)
         provenance = RunProvenance.from_run(
-            self.protocol.name, self.trace.name, self.config
+            self.protocol.name, self.trace.name, self.config, scenario=self.scenario
         )
         return world.metrics.summary(
             self.protocol.name,

@@ -8,7 +8,7 @@ while each routing protocol attaches whatever per-entity state it needs
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.sim.buffers import PacketBuffer
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.mobility.trace import Trace, VisitRecord, days
-from repro.sim.engine import RoutingProtocol, SimConfig, Simulation, World, run_simulation
+from repro.sim.engine import RoutingProtocol, SimConfig, Simulation, run_simulation
 from repro.sim.packets import Packet
 
 
@@ -132,7 +132,7 @@ class TestDeliveryAndExpiry:
         # holders; flush them for the accounting check
         for holder in list(world.nodes.values()) + list(world.stations.values()):
             world.now = math.inf
-            dead = holder.buffer.pop_expired(world.now)
+            holder.buffer.pop_expired(world.now)
             in_flight -= 0  # they were already counted in in_flight
         assert summary.generated == summary.delivered + summary.dropped_ttl + in_flight
 

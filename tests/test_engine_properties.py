@@ -6,9 +6,7 @@ unique packet ids), never exceed buffer capacities, and never deliver a
 packet before it was created or after its deadline.
 """
 
-import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.baselines import make_protocol

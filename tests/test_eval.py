@@ -1,6 +1,5 @@
 """Tests for the experiment harness (repro.eval)."""
 
-import numpy as np
 import pytest
 
 from repro.eval.config import (
@@ -22,7 +21,7 @@ from repro.eval.extensions import (
 )
 from repro.eval.sweeps import SweepResult, memory_sweep, rate_sweep
 from repro.mobility.trace import days
-from repro.mobility.synthetic import dart_like, dnet_like
+from repro.mobility.synthetic import dart_like
 
 
 @pytest.fixture(scope="module")
@@ -58,10 +57,20 @@ class TestConfig:
             trace_profile("NOPE")
 
     def test_full_scale_env(self, monkeypatch):
-        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
-        assert not full_scale()
-        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
-        assert full_scale()
+        from repro.eval.config import _reset_full_scale_cache
+
+        try:
+            monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+            _reset_full_scale_cache()
+            assert not full_scale()
+            # the resolution is per-process: a mid-run env change is ignored
+            monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+            assert not full_scale()
+            # a fresh process (simulated by resetting the cache) sees it
+            _reset_full_scale_cache()
+            assert full_scale()
+        finally:
+            _reset_full_scale_cache()
 
     def test_sim_config_mapping(self, tiny_profile):
         cfg = tiny_profile.sim_config(memory_kb=1234.0, rate=77.0, seed=9)

@@ -4,14 +4,13 @@ These assert the *relationships* the paper's evaluation section reports,
 at reduced scale (full-shape checks live in the benchmark harness).
 """
 
-import math
 
 import pytest
 
 from repro.baselines import PAPER_PROTOCOLS, make_protocol
-from repro.core import DTNFlowConfig, DTNFlowProtocol, evaluate_predictor
+from repro.core import DTNFlowProtocol, evaluate_predictor
 from repro.mobility.trace import days
-from repro.sim.engine import SimConfig, Simulation, run_simulation
+from repro.sim.engine import SimConfig, run_simulation
 
 
 @pytest.fixture(scope="module")
@@ -127,7 +126,6 @@ class TestExtensionsImprove:
         """With injected loops, correction recovers most of the lost hit rate."""
         from repro.eval.config import TraceProfile
         from repro.eval.extensions import loop_experiment
-        from repro.mobility.synthetic import dart_like
 
         profile = TraceProfile(
             name="DART", build=lambda s: dart_small, ttl=days(7.0),

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.eval.confidence import MetricCI, confidence_interval, run_with_confidence
+from repro.eval.confidence import confidence_interval, run_with_confidence
 from repro.eval.config import TraceProfile
 from repro.mobility.io import dump_trace, dumps_trace, load_trace, loads_trace
 from repro.mobility.trace import Trace, VisitRecord, days

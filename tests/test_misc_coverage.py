@@ -1,7 +1,6 @@
 """Edge-case coverage across modules: estimator versioning, engine knobs,
 delivery claiming, CLI multi-seed mode, and assorted small behaviours."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,7 @@
 """Tests for the order-k Markov predictor (repro.core.predictor)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.predictor import (
     AccuracyTracker,

@@ -1,6 +1,5 @@
 """Tests for trace preprocessing (repro.mobility.preprocess)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.mobility.parsers import ApSighting, RawAssociation
@@ -15,7 +14,7 @@ from repro.mobility.preprocess import (
     rebase_time,
     relabel_compact,
 )
-from repro.mobility.trace import Trace, VisitRecord
+from repro.mobility.trace import VisitRecord
 
 
 def rec(start, end, node=0, landmark=0):

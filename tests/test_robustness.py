@@ -7,7 +7,7 @@ import pytest
 from repro.baselines import make_protocol
 from repro.eval.config import TraceProfile
 from repro.eval.deployment import LIBRARY, run_deployment
-from repro.mobility.synthetic import dart_like, dnet_like
+from repro.mobility.synthetic import dart_like
 from repro.mobility.trace import days
 from repro.sim.engine import Simulation
 
@@ -71,8 +71,6 @@ class TestDeploymentRobustness:
         res = run_deployment(trace_days=5, seed=7)
         assert set(res.metrics.delay_summary.as_tuple())  # delays exist
         # deliveries recorded only for the library sink
-        # (delivered_by_dst lives on the collector; re-run to check)
-        from repro.eval.deployment import run_deployment as rd
         # the public summary cannot disaggregate, but the link map and
         # routing tables must orient toward the library
         top = max(res.link_bandwidths.items(), key=lambda kv: kv[1])[0]

@@ -1,12 +1,10 @@
 """Behavioural tests for the DTN-FLOW protocol (repro.core.router)."""
 
-import math
 
 import pytest
 
 from repro.core.router import (
     META_ASSIGNED_BY,
-    META_DEST_NODE,
     META_EXPECTED_DELAY,
     META_NEXT_HOP,
     DTNFlowConfig,
@@ -248,7 +246,6 @@ class TestNodeRoutingExtension:
         config = DTNFlowConfig(enable_node_routing=True)
         proto = DTNFlowProtocol(config)
         sim = Simulation(trace, proto, cfg())
-        w = sim.world
 
         injected = {}
 

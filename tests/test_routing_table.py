@@ -213,7 +213,6 @@ class TestQueriesAndMetrics:
 def test_offer_route_invariants(offers):
     """Delays never increase through offers; entries stay self-consistent."""
     t = RoutingTable(0, switch_hysteresis=1.0)
-    best = {}
     for dest, via, delay in offers:
         if dest == 0:
             continue

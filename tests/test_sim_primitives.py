@@ -1,13 +1,12 @@
 """Tests for packets, buffers and metrics (repro.sim primitives)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.buffers import PacketBuffer
 from repro.sim.metrics import MetricsCollector
-from repro.sim.packets import GenerationEvent, Packet, PacketFactory, generate_workload
+from repro.sim.packets import Packet, PacketFactory, generate_workload
 
 import numpy as np
 

@@ -1,12 +1,10 @@
 """Unit + property tests for repro.utils."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils import (
     Ewma,
-    FiveNumberSummary,
     five_number_summary,
     format_table,
     require_in_range,
