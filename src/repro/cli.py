@@ -8,6 +8,7 @@ Commands
 ``sweep``       the Fig. 11-14 memory/rate sweeps
 ``scenario``    run/validate/show declarative scenario manifests
 ``rerun``       reproduce a past run from its exported provenance
+``resilience``  degradation curves + re-convergence under injected faults
 ``deployment``  the Section V-C campus deployment
 ``predict``     the Fig. 6 order-k prediction study
 ``trace``       replay a run with event tracing; follow a packet hop-by-hop
@@ -27,6 +28,7 @@ their whole configuration from a manifest (see ``docs/scenarios.md``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -37,6 +39,11 @@ from repro.eval.config import profile_for_trace, trace_profile
 from repro.eval.confidence import run_with_confidence
 from repro.eval.deployment import run_deployment
 from repro.eval.experiment import run_matrix
+from repro.eval.resilience import (
+    DEFAULT_INTENSITIES,
+    degradation_curves,
+    reconvergence_after_death,
+)
 from repro.eval.runner import PointSpec, TraceSpec, parse_jobs, run_points
 from repro.eval.scenario import (
     ScenarioResult,
@@ -354,12 +361,15 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def cmd_rerun(args: argparse.Namespace) -> int:
-    with open(args.file, "r", encoding="utf-8") as fh:
-        try:
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
-        except json.JSONDecodeError as exc:
-            print(f"{args.file} is not valid JSON: {exc}", file=sys.stderr)
-            return 2
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"{args.file} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
     try:
         res = rerun_scenario(payload, index=args.index, jobs=parse_jobs(args.jobs))
     except ValueError as exc:
@@ -369,6 +379,86 @@ def cmd_rerun(args: argparse.Namespace) -> int:
         print(json.dumps(res.as_dict(), indent=2, sort_keys=True))
         return 0
     _print_scenario_result(res)
+    return 0
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    trace, profile, _ = _resolve_trace(args.trace, args.seed)
+    config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
+    if args.workload_scale is not None:
+        config = dataclasses.replace(config, workload_scale=args.workload_scale)
+    protocols = (
+        args.protocols.split(",") if args.protocols else ["DTN-FLOW", "PROPHET", "PGR"]
+    )
+    unknown = [p for p in protocols if p not in protocol_names()]
+    if unknown:
+        print(
+            f"unknown protocol(s): {', '.join(unknown)}; "
+            f"known: {', '.join(protocol_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        intensities = (
+            [float(v) for v in args.intensities.split(",")]
+            if args.intensities
+            else list(DEFAULT_INTENSITIES)
+        )
+    except ValueError:
+        print(f"--intensities must be comma-separated numbers, got "
+              f"{args.intensities!r}", file=sys.stderr)
+        return 2
+    curves = degradation_curves(
+        trace,
+        protocols=protocols,
+        intensities=intensities,
+        config=config,
+        fault_seed=args.fault_seed,
+        jobs=parse_jobs(args.jobs),
+    )
+    payload = {"degradation": curves.as_dict()}
+    if not args.no_reconvergence:
+        rec = reconvergence_after_death(
+            trace,
+            death_start=args.death_start,
+            n_probes=args.probes,
+            config=config,
+            fault_seed=args.fault_seed,
+        )
+        payload["reconvergence"] = rec.as_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote resilience report to {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name in protocols:
+        points = curves.curves[name]
+        rows.append(
+            [name]
+            + [f"{p.success_rate:.3f}" for p in points]
+        )
+    print(format_table(
+        ["protocol"] + [f"x={x:g}" for x in curves.intensities],
+        rows,
+        title=f"success rate vs fault intensity ({trace.name}, "
+              f"fault seed {curves.fault_seed}):",
+    ))
+    if not args.no_reconvergence:
+        print(
+            f"\nlandmark {rec.dead_landmark} killed at "
+            f"{(rec.death_time - trace.start_time) / 3600:.1f} h; stale "
+            f"dead-next-hop routes per probe: {rec.stale_routes}"
+        )
+        if rec.reconverged_at is not None:
+            print(f"tables re-converged {rec.reconvergence_delay / 3600:.1f} h "
+                  "after the death")
+        else:
+            print("tables did not fully re-converge within the trace "
+                  "(the paper's protocol has no failure detector; stale "
+                  "routes decay only as better alternatives propagate)")
     return 0
 
 
@@ -680,6 +770,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the reproduced results as JSON")
     p.set_defaults(func=cmd_rerun)
+
+    p = sub.add_parser(
+        "resilience",
+        help="degradation curves + re-convergence under injected faults",
+        description="Run each protocol under composed fault plans of rising "
+                    "intensity (landmark outages, node churn, link "
+                    "degradation, transfer loss) and measure how gracefully "
+                    "it degrades; then kill a landmark and measure DTN-FLOW "
+                    "routing-table re-convergence (see docs/resilience.md).",
+    )
+    add_common(p)
+    p.add_argument("--memory", type=float, default=2000.0, help="node memory (kB)")
+    p.add_argument("--rate", type=float, default=500.0, help="packets/landmark/day")
+    p.add_argument("--protocols", default=None,
+                   help="comma-separated protocol names "
+                        "(default DTN-FLOW,PROPHET,PGR)")
+    p.add_argument("--intensities", default=None,
+                   help="comma-separated fault intensities in [0,1] "
+                        "(default 0,0.25,0.5,0.75,1)")
+    p.add_argument("--workload-scale", type=float, default=None,
+                   help="override the profile's workload scale (smaller = "
+                        "faster, e.g. 0.05 for a smoke run)")
+    p.add_argument("--fault-seed", type=int, default=7,
+                   help="seed of the fault plan (target selection + loss hash)")
+    p.add_argument("--death-start", type=float, default=0.5,
+                   help="when (trace fraction) the re-convergence landmark dies")
+    p.add_argument("--probes", type=positive_int, default=16,
+                   help="routing-table observation points (default 16)")
+    p.add_argument("--no-reconvergence", action="store_true",
+                   help="skip the landmark-death re-convergence measurement")
+    add_jobs(p)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the degradation-curve JSON report to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser("deployment", help="the Section V-C campus deployment")
     p.add_argument("--days", type=int, default=6)

@@ -470,6 +470,10 @@ class DTNFlowProtocol(RoutingProtocol):
         st = self._stations[station.lid]
         prev = node.prev_landmark
         arrived_by_transit = prev is not None and prev != station.lid
+        # fault plane: a downed station's infrastructure is unreachable -
+        # the node still roams the subarea (node-side learning continues),
+        # but no control exchange or forwarding happens through the station
+        station_up = world.station_available(station.lid)
 
         # prediction-accuracy bookkeeping (IV-D.4)
         if arrived_by_transit and ns.predicted is not None:
@@ -485,13 +489,16 @@ class DTNFlowProtocol(RoutingProtocol):
                 )
 
         # bandwidth measurement (IV-C.1)
-        if arrived_by_transit:
-            st.bw.record_arrival(prev, t)
-        else:
-            st.bw.advance_to(t)
+        if station_up:
+            if arrived_by_transit:
+                st.bw.record_arrival(prev, t)
+            else:
+                st.bw.advance_to(t)
 
-        # maintenance payloads carried from the previous landmark
-        self._deliver_maintenance(world, node, station, t)
+            # maintenance payloads carried from the previous landmark (a
+            # downed station receives nothing; the node keeps carrying its
+            # payloads to the next landmark it reaches)
+            self._deliver_maintenance(world, node, station, t)
 
         # predictor update + fresh next-transit prediction (IV-B)
         ns.pred.update(station.lid)
@@ -504,6 +511,9 @@ class DTNFlowProtocol(RoutingProtocol):
         if self.config.enable_deadend:
             planned_stay = node.visit_until - t
             ns.dead_ended = ns.deadend.is_dead_end(station.lid, planned_stay)
+
+        if not station_up:
+            return
 
         # node-destined packets waiting at this landmark for this node (IV-E.4)
         if self.config.enable_node_routing:
@@ -566,6 +576,9 @@ class DTNFlowProtocol(RoutingProtocol):
         ns = self._nodes[node.nid]
         st = self._stations[station.lid]
         ns.deadend.record_stay(station.lid, max(0.0, t - node.visit_started))
+        if not world.station_available(station.lid):
+            # a downed station has no routing state to hand out
+            return
         # departing node carries the landmark's routing state (IV-C.2).
         # A snapshot is issued at most once per time unit per predicted
         # neighbour - the paper's *periodic* table exchange, which keeps

@@ -27,6 +27,7 @@ import dataclasses
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -39,6 +40,7 @@ from repro.obs.provenance import _jsonable
 from repro.sim.engine import SimConfig
 
 __all__ = [
+    "PointExecutionError",
     "PointSpec",
     "TraceSpec",
     "parse_jobs",
@@ -170,8 +172,12 @@ def point_scenario_dict(
         trace_block = {"path": str(trace_spec.path)}
     else:
         return None
+    # the fault plan is a top-level scenario block, not a sim knob, so the
+    # emitted dict round-trips through ScenarioSpec.from_dict unchanged
     sim = {
-        f: v for f, v in dataclasses.asdict(config).items() if f != "seed"
+        f: v
+        for f, v in dataclasses.asdict(config).items()
+        if f not in ("seed", "faults")
     }
     protocol_config = dict(point.protocol_kwargs or {})
     if "config" in protocol_config and dataclasses.is_dataclass(
@@ -179,22 +185,53 @@ def point_scenario_dict(
     ):
         # flatten a prebuilt config dataclass into its JSON field form
         protocol_config = dataclasses.asdict(protocol_config["config"])
-    return _jsonable(
-        {
-            "trace": trace_block,
-            "sim": sim,
-            "protocol": {"name": point.protocol, "config": protocol_config},
-            "seeds": [int(point.seed)],
-        }
-    )
+    out: Dict[str, Any] = {
+        "trace": trace_block,
+        "sim": sim,
+        "protocol": {"name": point.protocol, "config": protocol_config},
+        "seeds": [int(point.seed)],
+    }
+    if config.faults is not None:
+        out["faults"] = config.faults
+    return _jsonable(out)
 
 
 #: one work item: which trace, which point, with which resolved config
 Entry = Tuple[TraceSpec, PointSpec, SimConfig]
 
-#: pool-infrastructure failures that trigger the serial fallback (a genuine
-#: experiment error inside a worker propagates as its original type instead)
+#: pool-infrastructure failures that trigger the whole-sweep serial fallback
+#: (pool construction/submission problems; failures of individual points are
+#: handled per-point inside :func:`_run_pool` instead)
 _POOL_ERRORS = (OSError, ImportError, NotImplementedError, BrokenProcessPool)
+
+
+class PointExecutionError(RuntimeError):
+    """One sweep point failed its pool run, the retry, *and* the serial
+    re-run.
+
+    Carries the point's fully-resolved inputs (:attr:`point`,
+    :attr:`config`, :attr:`trace_key`) so the failing experiment can be
+    reproduced in isolation, plus the final underlying exception as
+    :attr:`cause` (also chained as ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        point: "PointSpec",
+        config: SimConfig,
+        trace_key: str,
+        cause: BaseException,
+    ) -> None:
+        self.point = point
+        self.config = config
+        self.trace_key = trace_key
+        self.cause = cause
+        super().__init__(
+            f"sweep point failed after retry and serial re-run: "
+            f"protocol={point.protocol!r} seed={point.seed} "
+            f"memory_kb={point.memory_kb:g} rate={point.rate:g} "
+            f"trace={trace_key!r}: {cause!r}"
+        )
 
 
 # -- worker-side state ----------------------------------------------------------
@@ -234,21 +271,99 @@ def _run_task(
     )
 
 
-def _run_pool(entries: Sequence[Entry], n_jobs: int) -> List[ExperimentResult]:
+def _rerun_entry_serial(
+    entry: Entry, traces: Dict[str, Trace]
+) -> ExperimentResult:
+    """Run one entry in-process (the last-resort path for a failed point)."""
+    spec, point, config = entry
+    trace = traces.get(spec.key)
+    if trace is None:
+        trace = spec.materialize()
+        traces[spec.key] = trace
+    return execute_config(
+        trace,
+        point.protocol,
+        config,
+        memory_kb=point.memory_kb,
+        rate=point.rate,
+        seed=point.seed,
+        protocol_kwargs=point.protocol_kwargs,
+        scenario=point.scenario,
+    )
+
+
+def _run_pool(
+    entries: Sequence[Entry], n_jobs: int, timeout: Optional[float] = None
+) -> List[ExperimentResult]:
+    """Pool execution with per-point failure containment.
+
+    A point that crashes its worker, raises, or exceeds ``timeout`` does not
+    poison the rest of the sweep: it is retried once through the pool (while
+    the pool is still healthy), then re-run serially in the parent.  Only
+    when all three attempts fail does a :class:`PointExecutionError` —
+    carrying the point's resolved spec — propagate.  After a timeout the
+    pool is abandoned without waiting (the hung worker process is orphaned).
+    """
     specs: Dict[str, TraceSpec] = {}
     for spec, _, _ in entries:
         specs.setdefault(spec.key, spec)
     results: List[Optional[ExperimentResult]] = [None] * len(entries)
-    with ProcessPoolExecutor(
+    failed: List[Tuple[int, BaseException]] = []
+    unhealthy = False  # hung or broken: no further pool submissions
+    pool = ProcessPoolExecutor(
         max_workers=n_jobs, initializer=_pool_init, initargs=(specs,)
-    ) as pool:
+    )
+    try:
         futures = [
             pool.submit(_run_task, i, spec.key, point, config)
             for i, (spec, point, config) in enumerate(entries)
         ]
-        for future in futures:
-            idx, result = future.result()
-            results[idx] = result
+        for i, future in enumerate(futures):
+            try:
+                idx, result = future.result(timeout=timeout)
+                results[idx] = result
+            except _FuturesTimeout as exc:
+                future.cancel()
+                unhealthy = True
+                failed.append((i, exc))
+            except BrokenProcessPool as exc:
+                unhealthy = True
+                failed.append((i, exc))
+            except Exception as exc:  # a genuine experiment error in a worker
+                failed.append((i, exc))
+        if failed and not unhealthy:
+            # one pool retry for each failed point (transient crashes)
+            retries = [
+                (i, pool.submit(_run_task, i, entries[i][0].key, entries[i][1], entries[i][2]))
+                for i, _ in failed
+            ]
+            failed = []
+            for i, future in retries:
+                try:
+                    idx, result = future.result(timeout=timeout)
+                    results[idx] = result
+                except _FuturesTimeout as exc:
+                    future.cancel()
+                    unhealthy = True
+                    failed.append((i, exc))
+                except Exception as exc:
+                    failed.append((i, exc))
+    finally:
+        pool.shutdown(wait=not unhealthy, cancel_futures=True)
+    if failed:
+        # last resort: re-run the stragglers serially in this process
+        traces: Dict[str, Trace] = {}
+        for i, pool_exc in failed:
+            print(
+                f"repro: sweep point {i} failed in the pool ({pool_exc!r}); "
+                "re-running serially",
+                file=sys.stderr,
+            )
+            try:
+                results[i] = _rerun_entry_serial(entries[i], traces)
+            except Exception as exc:
+                spec, point, config = entries[i]
+                raise PointExecutionError(point, config, spec.key, exc) from exc
     return results  # type: ignore[return-value]
 
 
@@ -283,6 +398,7 @@ def run_point_specs(
     *,
     jobs: Union[int, str, None] = 1,
     materialized: Optional[Dict[str, Trace]] = None,
+    timeout: Optional[float] = None,
 ) -> List[ExperimentResult]:
     """Execute ``(trace_spec, point, config)`` entries, possibly in parallel.
 
@@ -290,14 +406,23 @@ def run_point_specs(
     optionally seeds the serial path's trace cache with already-built traces
     (keyed by spec key) so a single-trace caller never rebuilds the trace it
     already holds.
+
+    ``timeout`` (seconds, parallel runs only) bounds each point's pool
+    execution; a point that crashes, raises or hangs is retried once and
+    then re-run serially, and only a point failing all three attempts
+    raises :class:`PointExecutionError` with its resolved spec attached.
     """
     entries = list(entries)
     if not entries:
         return []
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
     n_jobs = min(parse_jobs(jobs), len(entries))
     if n_jobs > 1:
         try:
-            return _run_pool(entries, n_jobs)
+            return _run_pool(entries, n_jobs, timeout)
+        except PointExecutionError:
+            raise
         except _POOL_ERRORS as exc:
             print(
                 f"repro: process pool unavailable ({exc!r}); "

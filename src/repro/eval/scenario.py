@@ -51,6 +51,7 @@ from repro.eval.runner import (
 from repro.eval.sweeps import SweepResult
 from repro.mobility.trace import Trace
 from repro.sim.engine import SimConfig
+from repro.sim.faults import FaultPlan
 
 __all__ = [
     "ProtocolSpec",
@@ -69,9 +70,14 @@ __all__ = [
 # -- schema helpers -----------------------------------------------------------
 
 #: SimConfig fields a scenario's ``sim`` block may set (seed comes from
-#: ``seeds``; friendly aliases map to the canonical field names)
+#: ``seeds``, the fault plan from the top-level ``faults`` block; friendly
+#: aliases map to the canonical field names)
 _SIM_FIELDS = tuple(
-    sorted(f.name for f in dataclasses.fields(SimConfig) if f.name != "seed")
+    sorted(
+        f.name
+        for f in dataclasses.fields(SimConfig)
+        if f.name not in ("seed", "faults")
+    )
 )
 _SIM_ALIASES = {
     "memory_kb": "node_memory_kb",
@@ -222,6 +228,9 @@ class ScenarioSpec:
     protocols: Tuple[ProtocolSpec, ...] = (ProtocolSpec("DTN-FLOW"),)
     seeds: Tuple[int, ...] = (1,)
     sweep: Optional[SweepSpec] = None
+    #: deterministic fault plan applied to every grid point (see
+    #: :mod:`repro.sim.faults` and docs/resilience.md); None = unfaulted
+    faults: Optional[FaultPlan] = None
 
     # -- construction / serialization ----------------------------------------
     @classmethod
@@ -235,7 +244,10 @@ class ScenarioSpec:
         _reject_unknown(
             "scenario",
             data,
-            ["name", "trace", "sim", "protocol", "protocols", "seed", "seeds", "sweep"],
+            [
+                "name", "trace", "sim", "protocol", "protocols", "seed",
+                "seeds", "sweep", "faults",
+            ],
         )
         if "trace" not in data:
             raise ValueError("scenario needs a 'trace' block")
@@ -297,9 +309,12 @@ class ScenarioSpec:
             seeds = (1,)
 
         sweep = SweepSpec.from_dict(data["sweep"]) if data.get("sweep") else None
+        faults = (
+            FaultPlan.from_dict(data["faults"]) if data.get("faults") else None
+        )
         return cls(
             trace=trace, name=name, sim=sim, protocols=protocols, seeds=seeds,
-            sweep=sweep,
+            sweep=sweep, faults=faults,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -313,6 +328,8 @@ class ScenarioSpec:
         out["seeds"] = list(self.seeds)
         if self.sweep is not None:
             out["sweep"] = self.sweep.as_dict()
+        if self.faults is not None:
+            out["faults"] = self.faults.as_dict()
         return out
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -369,6 +386,8 @@ class ScenarioSpec:
         config = profile.sim_config(memory_kb=memory_kb, rate=rate, seed=seed)
         if overrides:
             config = dataclasses.replace(config, **overrides)
+        if self.faults is not None:
+            config = dataclasses.replace(config, faults=self.faults.as_dict())
         return config, memory_kb, rate
 
     def entries(
@@ -633,8 +652,11 @@ def preset_scenario(name: str) -> ScenarioSpec:
 def load_scenario(source: str) -> ScenarioSpec:
     """Load a scenario from a JSON manifest path or a preset name."""
     if os.path.exists(source):
-        with open(source, "r", encoding="utf-8") as fh:
-            return ScenarioSpec.from_json(fh.read())
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                return ScenarioSpec.from_json(fh.read())
+        except OSError as exc:
+            raise ValueError(f"cannot read scenario file {source!r}: {exc}") from None
     if source in _PRESETS:
         return preset_scenario(source)
     raise ValueError(

@@ -16,6 +16,7 @@ Two derived notions:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
@@ -172,6 +173,14 @@ class Trace:
         so repeated simulations of the same trace skip the rebuild; callers
         must treat the returned tuple as read-only and continue their own
         sequence numbers from ``2 * len(trace)``.
+
+        Raises
+        ------
+        ValueError
+            If record times are non-monotonic (out-of-order or NaN start
+            times, or a NaN end time).  Records are sorted on construction,
+            so this only fires on corrupt timestamps — which would otherwise
+            silently produce an out-of-order schedule.
         """
         key = (int(start_kind), int(end_kind))
         cached = self._replay_cache.get(key)
@@ -179,7 +188,23 @@ class Trace:
             return cached
         events: List[ReplayEvent] = []
         counter = 0
-        for rec in self._records:
+        prev_start = -math.inf
+        for i, rec in enumerate(self._records):
+            # written as negated >= so NaN timestamps (all comparisons
+            # False) are caught too, not just strict disorder
+            if not (rec.start >= prev_start):
+                raise ValueError(
+                    f"non-monotonic visit times in trace {self.name!r}: "
+                    f"record {i} starts at {rec.start} after a record "
+                    f"starting at {prev_start}"
+                )
+            if not (rec.end >= rec.start):
+                raise ValueError(
+                    f"non-monotonic visit times in trace {self.name!r}: "
+                    f"record {i} ends at {rec.end}, before its start "
+                    f"{rec.start}"
+                )
+            prev_start = rec.start
             events.append((rec.start, start_kind, counter, rec))
             counter += 1
             events.append((rec.end, end_kind, counter, rec))

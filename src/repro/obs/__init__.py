@@ -19,6 +19,7 @@ from repro.obs import events as event_types
 from repro.obs.events import (
     ALL_EVENTS,
     CONTROL_EVENTS,
+    FAULT_EVENTS,
     NULL_LOG,
     PACKET_EVENTS,
     TERMINAL_EVENTS,
@@ -36,6 +37,7 @@ __all__ = [
     "Counter",
     "Event",
     "EventLog",
+    "FAULT_EVENTS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

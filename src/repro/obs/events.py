@@ -42,6 +42,14 @@ routing control
 ``predictor_hit``   a node's next-transit prediction was correct
 ``predictor_miss``  a node's next-transit prediction was wrong
 ================== ==========================================================
+
+================== ==========================================================
+fault injection (see docs/resilience.md)
+================== ==========================================================
+``fault.injected``  a scheduled fault window activated (landmark outage or
+                    death, node churn, link degradation, transfer loss)
+``fault.cleared``   a scheduled fault window ended
+================== ==========================================================
 """
 
 from __future__ import annotations
@@ -69,6 +77,10 @@ BW_UPDATE = "bw_update"
 PREDICTOR_HIT = "predictor_hit"
 PREDICTOR_MISS = "predictor_miss"
 
+# -- fault injection ----------------------------------------------------------
+FAULT_INJECTED = "fault.injected"
+FAULT_CLEARED = "fault.cleared"
+
 PACKET_EVENTS = frozenset(
     {
         GENERATED,
@@ -83,7 +95,8 @@ PACKET_EVENTS = frozenset(
     }
 )
 CONTROL_EVENTS = frozenset({TABLE_EXCHANGE, BW_UPDATE, PREDICTOR_HIT, PREDICTOR_MISS})
-ALL_EVENTS = PACKET_EVENTS | CONTROL_EVENTS
+FAULT_EVENTS = frozenset({FAULT_INJECTED, FAULT_CLEARED})
+ALL_EVENTS = PACKET_EVENTS | CONTROL_EVENTS | FAULT_EVENTS
 
 #: terminal packet-lifecycle states (at most one per packet id)
 TERMINAL_EVENTS = frozenset({DELIVERED, DROPPED_TTL})

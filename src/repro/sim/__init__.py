@@ -3,6 +3,7 @@
 from repro.sim.buffers import PacketBuffer
 from repro.sim.engine import RoutingProtocol, SimConfig, Simulation, World, run_simulation
 from repro.sim.entities import LandmarkStation, MobileNode
+from repro.sim.faults import FAULT_KINDS, FaultEdge, FaultPlan, FaultSchedule, FaultSpec
 from repro.sim.messages import MessageSegmenter, MessageStatus
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.packets import (
@@ -22,6 +23,11 @@ __all__ = [
     "run_simulation",
     "LandmarkStation",
     "MobileNode",
+    "FAULT_KINDS",
+    "FaultEdge",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultSpec",
     "MessageSegmenter",
     "MessageStatus",
     "MetricsCollector",

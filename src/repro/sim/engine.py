@@ -34,6 +34,7 @@ from repro.obs import event_types as ev
 from repro.obs.provenance import RunProvenance
 from repro.obs.runtime import Observability
 from repro.sim.entities import LandmarkStation, MobileNode
+from repro.sim.faults import FaultEdge, FaultPlan, FaultSchedule
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.packets import GenerationEvent, Packet, PacketFactory, generate_workload
 from repro.utils.validation import (
@@ -88,6 +89,11 @@ class SimConfig:
     sources: Optional[Sequence[int]] = None
     #: stop generating packets this fraction into the trace (1.0 = until end)
     generation_end_fraction: float = 1.0
+    #: deterministic fault plan, as the canonical dict form of
+    #: :class:`repro.sim.faults.FaultPlan` (kept as a plain dict so configs
+    #: stay picklable and provenance stamps it verbatim); ``None`` = no
+    #: faults.  Compiled against the trace by :class:`World`.
+    faults: Optional[dict] = None
 
     def __post_init__(self) -> None:
         require_positive("node_memory_kb", self.node_memory_kb)
@@ -107,6 +113,10 @@ class SimConfig:
         require_in_range(
             "generation_end_fraction", self.generation_end_fraction, 0.0, 1.0
         )
+        if self.faults is not None:
+            # validate eagerly (and normalize) so a bad plan fails at config
+            # construction, not multiple processes later inside a worker
+            self.faults = FaultPlan.from_dict(self.faults).as_dict()
 
     @property
     def node_memory_bytes(self) -> float:
@@ -150,6 +160,22 @@ class World:
         # remaining transfer bytes of each node's current visit (only when
         # the config sets a finite link rate)
         self._visit_budget: Dict[int, float] = {}
+        #: compiled fault schedule (None = unfaulted run); every transfer
+        #: helper and the engine's visit/contact handlers consult it, so all
+        #: protocols experience identical failures for the same plan
+        self.faults: Optional[FaultSchedule] = (
+            FaultPlan.from_dict(config.faults).compile(trace)
+            if config.faults
+            else None
+        )
+        self._faults_active = self.faults is not None
+        # per-visit link-degradation factor (1.0 = healthy link)
+        self._visit_factor: Dict[int, float] = {}
+        if self._faults_active:
+            reg = self.obs.registry
+            self._ctr_blocked = reg.counter("faults.blocked_transfers")
+            self._ctr_lost = reg.counter("faults.transfers_lost")
+            self._ctr_skipped_visits = reg.counter("faults.skipped_visits")
 
     # -- convenience ------------------------------------------------------------
     @property
@@ -158,6 +184,43 @@ class World:
 
     def connected_nodes(self, station: LandmarkStation) -> List[MobileNode]:
         return [self.nodes[n] for n in sorted(station.connected)]
+
+    # -- fault queries ----------------------------------------------------------
+    def station_available(self, lid: int) -> bool:
+        """Whether landmark ``lid``'s station is reachable right now.
+
+        Always True on unfaulted runs.  Protocols should consult this
+        before station-side control exchanges (routing tables, bandwidth
+        reports); data transfers through the world helpers are gated
+        automatically.
+        """
+        if not self._faults_active:
+            return True
+        return not self.faults.station_down(lid, self.now)
+
+    def node_available(self, nid: int) -> bool:
+        """Whether node ``nid`` is currently alive (not churned out)."""
+        if not self._faults_active:
+            return True
+        return not self.faults.node_down(nid, self.now)
+
+    def _transfer_faulted(self, station_lid: Optional[int], packet: Packet) -> bool:
+        """Whether the fault plane blocks this transfer attempt.
+
+        A transfer fails when the involved station is down, the visit's
+        link is fully degraded (factor 0), or the probabilistic loss hash
+        claims the attempt.  Blocked/lost attempts are counted in the
+        ``faults.*`` registry metrics.
+        """
+        if not self._faults_active:
+            return False
+        if station_lid is not None and self.faults.station_down(station_lid, self.now):
+            self._ctr_blocked.inc()
+            return True
+        if self.faults.transfer_lost(packet.pid, self.now):
+            self._ctr_lost.inc()
+            return True
+        return False
 
     # -- expiry -----------------------------------------------------------------
     def drop_expired_in(self, holder) -> None:
@@ -183,17 +246,29 @@ class World:
 
     # -- link budget ---------------------------------------------------------------
     def begin_visit_budget(self, node: MobileNode, duration: float) -> None:
+        factor = 1.0
+        if self._faults_active and node.at_landmark is not None:
+            factor = self.faults.link_factor(node.at_landmark, self.now)
+            self._visit_factor[node.nid] = factor
         rate = self.config.link_rate_bytes_per_sec
         if rate is not None:
-            self._visit_budget[node.nid] = max(0.0, duration) * rate
+            # link degradation shrinks this visit's transfer budget
+            self._visit_budget[node.nid] = max(0.0, duration) * rate * factor
 
     def link_budget_remaining(self, node: MobileNode) -> float:
         """Bytes still transferable this visit (inf when rate-unlimited)."""
         if self.config.link_rate_bytes_per_sec is None:
+            if self._faults_active and self._visit_factor.get(node.nid, 1.0) <= 0.0:
+                return 0.0
             return math.inf
         return self._visit_budget.get(node.nid, 0.0)
 
     def _charge_link(self, node: MobileNode, size: int) -> bool:
+        if self._faults_active and self._visit_factor.get(node.nid, 1.0) <= 0.0:
+            # fully degraded link: no transfers this visit, even when the
+            # config models transfers as instantaneous (rate None)
+            self._ctr_blocked.inc()
+            return False
         if self.config.link_rate_bytes_per_sec is None:
             return True
         remaining = self._visit_budget.get(node.nid, 0.0)
@@ -207,7 +282,9 @@ class World:
         packet.delivered_at = self.now
         if packet.pid not in self._delivered_pids:
             self._delivered_pids.add(packet.pid)
-            self.metrics.on_delivered(self.now - packet.created, packet.dst)
+            self.metrics.on_delivered(
+                self.now - packet.created, packet.dst, hops=packet.hops
+            )
             if self.obs_enabled:
                 self.events.emit(
                     self.now, ev.DELIVERED, packet=packet.pid,
@@ -237,6 +314,8 @@ class World:
         actually hold the packet.
         """
         if packet.pid not in node.buffer:
+            return False
+        if self._transfer_faulted(station.lid, packet):
             return False
         if not self._charge_link(node, packet.size):
             return False
@@ -269,6 +348,8 @@ class World:
         """Hand a packet to a connected carrier; fails when its memory is full."""
         if packet.pid not in station.buffer:
             return False
+        if self._transfer_faulted(station.lid, packet):
+            return False
         if not node.buffer.can_accept(packet):
             if self.obs_enabled:
                 self.events.emit(
@@ -292,6 +373,8 @@ class World:
     def node_to_node(self, src: MobileNode, dst: MobileNode, packet: Packet) -> bool:
         """Forward a packet between two co-located nodes (baselines only)."""
         if packet.pid not in src.buffer:
+            return False
+        if self._transfer_faulted(None, packet):
             return False
         if not dst.buffer.can_accept(packet):
             if self.obs_enabled:
@@ -355,13 +438,16 @@ class RoutingProtocol:
         """Called once after the event loop ends."""
 
 
-# event kinds, ordered for same-timestamp ties: ends free state first,
-# then births, then arrivals (an arriving node immediately sees new packets),
-# then probes (observers see the post-arrival state)
-_VISIT_END = 0
-_PACKET_GEN = 1
-_VISIT_START = 2
-_PROBE = 3
+# event kinds, ordered for same-timestamp ties: fault edges flip the fault
+# state first (an event at the edge instant already sees the new state),
+# then ends free state, then births, then arrivals (an arriving node
+# immediately sees new packets), then probes (observers see the
+# post-arrival state)
+_FAULT_EDGE = 0
+_VISIT_END = 1
+_PACKET_GEN = 2
+_VISIT_START = 3
+_PROBE = 4
 
 
 class Simulation:
@@ -435,6 +521,10 @@ class Simulation:
         for probe_t, callback in self.probes:
             events.append((float(probe_t), _PROBE, counter, callback))
             counter += 1
+        if self.world.faults is not None:
+            for edge in self.world.faults.edges:
+                events.append((edge.t, _FAULT_EDGE, counter, edge))
+                counter += 1
         events.sort(key=lambda e: (e[0], e[1], e[2]))
         return events
 
@@ -449,8 +539,33 @@ class Simulation:
         node.at_landmark = None
         node.last_depart = t
 
+    def _handle_fault_edge(self, edge: FaultEdge, t: float) -> None:
+        """A fault window activated or cleared: trace it, apply churn."""
+        world = self.world
+        if world.obs_enabled:
+            world.events.emit(
+                t,
+                ev.FAULT_INJECTED if edge.action == "injected" else ev.FAULT_CLEARED,
+                kind=edge.kind,
+                spec=edge.spec_index,
+                **edge.data,
+            )
+        if edge.action == "injected" and edge.kind == "node_churn":
+            # churned nodes vanish: close their current visits (the station
+            # sees a normal departure); new visits are skipped while down
+            for nid in edge.targets:
+                node = world.nodes.get(nid)
+                if node is not None and node.at_landmark is not None:
+                    self._end_visit(node, t)
+
     def _handle_visit_start(self, rec, t: float) -> None:
         world = self.world
+        if world._faults_active and world.faults.node_down(rec.node, t):
+            # churned-out node: the visit never happens (no connection, no
+            # contacts, no protocol callbacks); its carried packets are
+            # stranded until it recovers
+            world._ctr_skipped_visits.inc()
+            return
         node = world.nodes[rec.node]
         # overlapping records: close the stale visit first
         if node.at_landmark is not None:
@@ -500,6 +615,10 @@ class Simulation:
 
     def _handle_generation(self, gen: GenerationEvent, t: float) -> None:
         world = self.world
+        if world._faults_active and world.faults.station_down(gen.src, t):
+            # a dead station cannot source packets; the skip is schedule-
+            # driven, so every protocol sees the identical workload
+            return
         station = world.stations[gen.src]
         packet = self.factory.create(src=gen.src, dst=gen.dst, now=t)
         world.metrics.on_generated()
@@ -514,6 +633,7 @@ class Simulation:
     # -- main loop -----------------------------------------------------------------
     #: phase names indexed by event kind, for the dispatch timers
     _DISPATCH_PHASES = (
+        "dispatch.fault_edge",
         "dispatch.visit_end",
         "dispatch.packet_gen",
         "dispatch.visit_start",
@@ -532,14 +652,15 @@ class Simulation:
         # accumulated in local lists (folded into the profiler once at the
         # end) keep the per-event timing cost to two clock reads
         handlers = (
+            self._handle_fault_edge,
             self._handle_visit_end,
             self._handle_generation,
             self._handle_visit_start,
         )
         world = self.world
         if prof.enabled:
-            acc = [0.0, 0.0, 0.0, 0.0]
-            cnt = [0, 0, 0, 0]
+            acc = [0.0, 0.0, 0.0, 0.0, 0.0]
+            cnt = [0, 0, 0, 0, 0]
             for t, kind, _, payload in events:
                 world.now = t
                 t0 = perf_counter()

@@ -51,6 +51,9 @@ class MetricsSummary:
     avg_delay: float
     overall_avg_delay: float
     total_cost: int
+    #: mean hop count of successful packets (0.0 when nothing delivered);
+    #: the per-protocol resilience curves plot this against fault intensity
+    avg_hops: float = 0.0
     delay_summary: Optional[FiveNumberSummary] = None
     #: config/seed/version stamp making the row self-describing (run
     #: provenance); None for hand-built summaries
@@ -86,6 +89,7 @@ class MetricsSummary:
             "avg_delay": self.avg_delay,
             "overall_avg_delay": self.overall_avg_delay,
             "total_cost": self.total_cost,
+            "avg_hops": self.avg_hops,
         }
         if self.delay_summary is not None:
             s = self.delay_summary
@@ -139,6 +143,7 @@ class MetricsCollector:
         self._maintenance = self.registry.counter("ops.maintenance")
         self._delay_hist = self.registry.histogram("delivery.delay")
         self.delays: List[float] = []
+        self.hops: List[int] = []
         #: per-landmark delivered counts (used by the deployment analysis)
         self.delivered_by_dst: Dict[int, int] = {}
         self._warned_zero_duration = False
@@ -177,9 +182,10 @@ class MetricsCollector:
             return
         self._maintenance.inc(math.ceil(n_entries / self.table_entry_unit))
 
-    def on_delivered(self, delay: float, dst: int) -> None:
+    def on_delivered(self, delay: float, dst: int, hops: int = 0) -> None:
         self._delivered.inc()
         self.delays.append(delay)
+        self.hops.append(int(hops))
         self._delay_hist.observe(delay)
         self.delivered_by_dst[dst] = self.delivered_by_dst.get(dst, 0) + 1
 
@@ -220,6 +226,10 @@ class MetricsCollector:
         return (sum(self.delays) + failed * self.experiment_duration) / self.generated
 
     @property
+    def avg_hops(self) -> float:
+        return sum(self.hops) / len(self.hops) if self.hops else 0.0
+
+    @property
     def total_cost(self) -> int:
         return self.forwarding_ops + self.maintenance_ops
 
@@ -243,6 +253,7 @@ class MetricsCollector:
             avg_delay=self.avg_delay,
             overall_avg_delay=self.overall_avg_delay,
             total_cost=self.total_cost,
+            avg_hops=self.avg_hops,
             delay_summary=five_number_summary(self.delays) if self.delays else None,
             provenance=provenance,
             phase_timings=phase_timings,

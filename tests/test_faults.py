@@ -1,0 +1,215 @@
+"""Unit tests for the deterministic fault-injection plane."""
+
+import json
+
+import pytest
+
+from repro.sim.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike")
+
+    def test_window_fractions_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="transfer_loss", start=-0.1, prob=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="transfer_loss", end=1.5, prob=0.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            FaultSpec(kind="transfer_loss", start=0.5, end=0.5, prob=0.5)
+
+    def test_death_is_permanent(self):
+        with pytest.raises(ValueError, match="permanent"):
+            FaultSpec(kind="landmark_death", start=0.2, end=0.8, landmark=0)
+        FaultSpec(kind="landmark_death", start=0.2, landmark=0)  # fine
+
+    def test_outage_needs_exactly_one_target_form(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(kind="landmark_outage")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(kind="landmark_outage", landmark=1, count=2)
+        with pytest.raises(ValueError, match="positive"):
+            FaultSpec(kind="landmark_outage", count=0)
+
+    def test_churn_needs_exactly_one_target_form(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(kind="node_churn")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(kind="node_churn", nodes=(1,), fraction=0.5)
+
+    def test_degradation_factor_below_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(kind="link_degradation")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="link_degradation", factor=1.0)
+        FaultSpec(kind="link_degradation", factor=0.0)  # fully down is legal
+
+    def test_loss_prob_positive(self):
+        with pytest.raises(ValueError, match="prob"):
+            FaultSpec(kind="transfer_loss")
+        with pytest.raises(ValueError, match="positive"):
+            FaultSpec(kind="transfer_loss", prob=0.0)
+
+    def test_from_dict_rejects_foreign_keys(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            FaultSpec.from_dict({"kind": "transfer_loss", "prob": 0.1, "nodes": [1]})
+
+    def test_from_dict_rejects_non_numeric_fields(self):
+        with pytest.raises(ValueError, match="number"):
+            FaultSpec.from_dict({"kind": "transfer_loss", "prob": "high"})
+        with pytest.raises(ValueError, match="integer"):
+            FaultSpec.from_dict({"kind": "landmark_outage", "landmark": 1.5})
+        with pytest.raises(ValueError, match="list"):
+            FaultSpec.from_dict({"kind": "node_churn", "nodes": "0,1"})
+
+
+class TestFaultPlan:
+    PLAN = {
+        "seed": 11,
+        "specs": [
+            {"kind": "landmark_outage", "start": 0.2, "end": 0.6, "count": 1},
+            {"kind": "node_churn", "start": 0.1, "end": 0.9, "nodes": [0]},
+            {"kind": "link_degradation", "start": 0.0, "end": 0.5, "factor": 0.5},
+            {"kind": "transfer_loss", "start": 0.3, "prob": 0.25},
+        ],
+    }
+
+    def test_round_trips_through_dict_and_json(self):
+        plan = FaultPlan.from_dict(self.PLAN)
+        again = FaultPlan.from_dict(plan.as_dict())
+        assert again == plan
+        assert FaultPlan.from_dict(json.loads(plan.to_json())) == plan
+
+    def test_unknown_top_level_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            FaultPlan.from_dict({"seed": 0, "specs": [], "mode": "chaos"})
+
+    def test_specs_must_be_a_list(self):
+        with pytest.raises(ValueError, match="list"):
+            FaultPlan.from_dict({"specs": {"kind": "transfer_loss", "prob": 0.1}})
+
+    def test_kind_registry_is_closed(self):
+        assert set(FAULT_KINDS) == {
+            "landmark_outage", "landmark_death", "node_churn",
+            "link_degradation", "transfer_loss",
+        }
+
+
+class TestScheduleCompilation:
+    def test_unknown_landmark_names_spec_index(self, shuttle_trace):
+        plan = FaultPlan.from_dict({
+            "specs": [
+                {"kind": "transfer_loss", "prob": 0.1},
+                {"kind": "landmark_outage", "landmark": 99, "start": 0.1, "end": 0.2},
+            ]
+        })
+        with pytest.raises(ValueError, match=r"spec #1 .*landmark 99"):
+            plan.compile(shuttle_trace)
+
+    def test_unknown_node_names_spec_index(self, shuttle_trace):
+        plan = FaultPlan.from_dict(
+            {"specs": [{"kind": "node_churn", "nodes": [7], "start": 0.0, "end": 0.5}]}
+        )
+        with pytest.raises(ValueError, match=r"spec #0 .*node"):
+            plan.compile(shuttle_trace)
+
+    def test_seeded_target_choice_is_stable(self, dart_tiny):
+        plan = {"seed": 4, "specs": [{"kind": "landmark_outage", "count": 2,
+                                      "start": 0.2, "end": 0.8}]}
+        a = FaultPlan.from_dict(plan).compile(dart_tiny)
+        b = FaultPlan.from_dict(plan).compile(dart_tiny)
+        assert a.affected_landmarks() == b.affected_landmarks()
+        other = dict(plan, seed=5)
+        c = FaultPlan.from_dict(other).compile(dart_tiny)
+        # two landmarks out of a tiny trace: different seeds should usually
+        # differ, but the contract is only per-seed stability
+        assert len(c.affected_landmarks()) == 2
+
+    def test_count_capped_at_population(self, shuttle_trace):
+        plan = FaultPlan.from_dict(
+            {"specs": [{"kind": "landmark_outage", "count": 50,
+                        "start": 0.1, "end": 0.9}]}
+        )
+        sched = plan.compile(shuttle_trace)
+        assert sched.affected_landmarks() == sorted(shuttle_trace.landmarks)
+
+
+class TestScheduleSemantics:
+    def _window(self, trace, t0_frac, t1_frac):
+        span = trace.end_time - trace.start_time
+        return (trace.start_time + t0_frac * span,
+                trace.start_time + t1_frac * span)
+
+    def test_windows_are_half_open(self, shuttle_trace):
+        plan = FaultPlan.from_dict(
+            {"specs": [{"kind": "landmark_outage", "landmark": 0,
+                        "start": 0.25, "end": 0.75}]}
+        )
+        sched = plan.compile(shuttle_trace)
+        t0, t1 = self._window(shuttle_trace, 0.25, 0.75)
+        assert not sched.station_down(0, t0 - 1.0)
+        assert sched.station_down(0, t0)          # active at its start instant
+        assert sched.station_down(0, (t0 + t1) / 2)
+        assert not sched.station_down(0, t1)      # cleared at its end instant
+        assert not sched.station_down(1, (t0 + t1) / 2)
+
+    def test_death_lasts_to_trace_end(self, shuttle_trace):
+        sched = FaultPlan.from_dict(
+            {"specs": [{"kind": "landmark_death", "landmark": 1, "start": 0.5}]}
+        ).compile(shuttle_trace)
+        assert sched.station_down(1, shuttle_trace.end_time - 1.0)
+        assert [e.action for e in sched.edges] == ["injected"]  # no clearing
+
+    def test_overlapping_degradations_multiply(self, shuttle_trace):
+        sched = FaultPlan.from_dict({
+            "specs": [
+                {"kind": "link_degradation", "start": 0.0, "end": 0.8, "factor": 0.5},
+                {"kind": "link_degradation", "start": 0.4, "end": 0.6, "factor": 0.5,
+                 "landmark": 0},
+            ]
+        }).compile(shuttle_trace)
+        mid = self._window(shuttle_trace, 0.5, 0.5)[0]
+        assert sched.link_factor(0, mid) == pytest.approx(0.25)
+        assert sched.link_factor(1, mid) == pytest.approx(0.5)  # untargeted only
+        late = self._window(shuttle_trace, 0.9, 0.9)[0]
+        assert sched.link_factor(0, late) == 1.0
+
+    def test_overlapping_losses_compose_independently(self, shuttle_trace):
+        sched = FaultPlan.from_dict({
+            "specs": [
+                {"kind": "transfer_loss", "start": 0.0, "end": 1.0, "prob": 0.5},
+                {"kind": "transfer_loss", "start": 0.4, "end": 0.6, "prob": 0.5},
+            ]
+        }).compile(shuttle_trace)
+        mid = self._window(shuttle_trace, 0.5, 0.5)[0]
+        early = self._window(shuttle_trace, 0.1, 0.1)[0]
+        assert sched.loss_prob(early) == pytest.approx(0.5)
+        assert sched.loss_prob(mid) == pytest.approx(0.75)
+
+    def test_transfer_loss_is_a_pure_function(self, shuttle_trace):
+        plan = {"seed": 9, "specs": [{"kind": "transfer_loss", "prob": 0.3}]}
+        a = FaultPlan.from_dict(plan).compile(shuttle_trace)
+        b = FaultPlan.from_dict(plan).compile(shuttle_trace)
+        t = shuttle_trace.start_time + 100.0
+        fates = [a.transfer_lost(pid, t) for pid in range(500)]
+        assert fates == [b.transfer_lost(pid, t) for pid in range(500)]
+        # the hash tracks the configured probability reasonably closely
+        assert 0.2 < sum(fates) / len(fates) < 0.4
+        healthy = FaultPlan.from_dict({"specs": []}).compile(shuttle_trace)
+        assert not healthy.transfer_lost(0, t)
+
+    def test_edges_sorted_clearings_first_at_ties(self, shuttle_trace):
+        sched = FaultPlan.from_dict({
+            "specs": [
+                {"kind": "landmark_outage", "landmark": 0, "start": 0.1, "end": 0.5},
+                {"kind": "landmark_outage", "landmark": 1, "start": 0.5, "end": 0.9},
+            ]
+        }).compile(shuttle_trace)
+        times = [e.t for e in sched.edges]
+        assert times == sorted(times)
+        mid_edges = [e for e in sched.edges if e.t == times[1]]
+        assert [e.action for e in mid_edges] == ["cleared", "injected"]

@@ -178,3 +178,70 @@ class TestCLI:
         from repro.cli import main
         with pytest.raises(SystemExit):
             main(["run", "--protocol", "bogus"])
+
+
+class TestCLIRobustness:
+    """Bad inputs exit nonzero with a one-line diagnostic, not a traceback."""
+
+    def _run(self, argv, capsys):
+        from repro.cli import main
+        rc = main(argv)
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_scenario_run_missing_file(self, capsys):
+        rc, _, err = self._run(["scenario", "run", "/no/such/file.json"], capsys)
+        assert rc == 2
+        assert "neither a scenario file nor a preset" in err
+        assert "Traceback" not in err
+
+    def test_scenario_run_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        rc, _, err = self._run(["scenario", "run", str(path)], capsys)
+        assert rc == 2
+        assert "not valid JSON" in err
+
+    def test_scenario_run_schema_invalid_names_field(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"trace": {"profile": "DART"}, "bogus_knob": 1}'
+        )
+        rc, _, err = self._run(["scenario", "run", str(path)], capsys)
+        assert rc == 2
+        assert "bogus_knob" in err
+
+    def test_scenario_run_invalid_faults_names_field(self, tmp_path, capsys):
+        path = tmp_path / "badfaults.json"
+        path.write_text(
+            '{"trace": {"profile": "DART"},'
+            ' "faults": {"specs": [{"kind": "transfer_loss"}]}}'
+        )
+        rc, _, err = self._run(["scenario", "run", str(path)], capsys)
+        assert rc == 2
+        assert "prob" in err
+
+    def test_rerun_missing_file(self, capsys):
+        rc, _, err = self._run(["rerun", "/no/such/export.json"], capsys)
+        assert rc == 2
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+    def test_rerun_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("[1, 2,")
+        rc, _, err = self._run(["rerun", str(path)], capsys)
+        assert rc == 2
+        assert "not valid JSON" in err
+
+    def test_resilience_rejects_bad_inputs(self, capsys):
+        rc, _, err = self._run(
+            ["resilience", "--intensities", "0,huge"], capsys
+        )
+        assert rc == 2
+        assert "comma-separated numbers" in err
+        rc, _, err = self._run(
+            ["resilience", "--protocols", "DTN-FLOW,Bogus"], capsys
+        )
+        assert rc == 2
+        assert "Bogus" in err

@@ -89,8 +89,11 @@ class TestEventLog:
         assert list(log.jsonl_lines()) == lines
 
     def test_taxonomy_partitions(self):
-        assert ev.ALL_EVENTS == ev.PACKET_EVENTS | ev.CONTROL_EVENTS
+        assert ev.ALL_EVENTS == (
+            ev.PACKET_EVENTS | ev.CONTROL_EVENTS | ev.FAULT_EVENTS
+        )
         assert not (ev.PACKET_EVENTS & ev.CONTROL_EVENTS)
+        assert not (ev.FAULT_EVENTS & (ev.PACKET_EVENTS | ev.CONTROL_EVENTS))
         assert ev.TERMINAL_EVENTS <= ev.PACKET_EVENTS
 
     def test_event_as_dict_omits_missing_fields(self):

@@ -260,3 +260,63 @@ class TestSweepResultErrors:
         res.add("DTN-FLOW", _summary(), value=1.0)
         assert res.provenance["DTN-FLOW"] == [None]
         assert res.mean_values("success_rate")["DTN-FLOW"] == 0.5
+
+
+class TestFailureContainment:
+    """A failing point is retried, re-run serially, then reported with its
+    resolved spec attached — it cannot silently poison a sweep."""
+
+    def _bad_entry(self, tiny_trace, tiny_profile):
+        # a fault plan naming a nonexistent landmark compiles (and fails)
+        # only inside the run, in whatever process executes the point
+        config = tiny_profile.sim_config(memory_kb=500.0, rate=100.0, seed=0)
+        import dataclasses
+
+        config = dataclasses.replace(config, faults={
+            "seed": 0,
+            "specs": [{"kind": "landmark_outage", "landmark": 9999,
+                       "start": 0.1, "end": 0.9}],
+        })
+        spec = TraceSpec.inline(tiny_trace)
+        return (spec, PointSpec(protocol="Direct", memory_kb=500.0,
+                                rate=100.0, seed=0), config)
+
+    def test_pool_failure_raises_point_execution_error(
+        self, tiny_trace, tiny_profile, capsys
+    ):
+        from repro.eval.runner import PointExecutionError
+
+        entry = self._bad_entry(tiny_trace, tiny_profile)
+        with pytest.raises(PointExecutionError) as err:
+            run_point_specs([entry, entry], jobs=2)
+        assert err.value.point.protocol == "Direct"
+        assert err.value.trace_key == entry[0].key
+        assert isinstance(err.value.cause, ValueError)
+        assert "landmark 9999" in str(err.value.cause)
+        # the one-line serial re-run notice went to stderr
+        assert "re-running serially" in capsys.readouterr().err
+
+    def test_serial_failure_propagates_the_cause(self, tiny_trace, tiny_profile):
+        with pytest.raises(ValueError, match="landmark 9999"):
+            run_point_specs([self._bad_entry(tiny_trace, tiny_profile)], jobs=1)
+
+    def test_good_points_survive_next_to_nothing_bad(self, tiny_trace, tiny_profile):
+        spec = TraceSpec.inline(tiny_trace)
+        config = tiny_profile.sim_config(memory_kb=500.0, rate=100.0, seed=0)
+        entries = [
+            (spec, PointSpec(protocol="Direct", memory_kb=500.0,
+                             rate=100.0, seed=0), config),
+            (spec, PointSpec(protocol="DTN-FLOW", memory_kb=500.0,
+                             rate=100.0, seed=0), config),
+        ]
+        results = run_point_specs(entries, jobs=2, timeout=300.0)
+        assert [r.protocol for r in results] == ["Direct", "DTN-FLOW"]
+
+    def test_timeout_must_be_positive(self, tiny_trace, tiny_profile):
+        spec = TraceSpec.inline(tiny_trace)
+        config = tiny_profile.sim_config(memory_kb=500.0, rate=100.0, seed=0)
+        entry = (spec, PointSpec(protocol="Direct"), config)
+        with pytest.raises(ValueError, match="timeout"):
+            run_point_specs([entry], jobs=2, timeout=0)
+        with pytest.raises(ValueError, match="timeout"):
+            run_point_specs([entry], jobs=2, timeout=-5.0)

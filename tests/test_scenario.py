@@ -326,3 +326,69 @@ class TestFullScalePinning:
     def test_sweep_spec_from_dict(self):
         sweep = SweepSpec.from_dict({"parameter": "rate", "values": [100, 200]})
         assert sweep.values == (100.0, 200.0)
+
+
+FAULTS_BLOCK = {
+    "seed": 5,
+    "specs": [
+        {"kind": "landmark_outage", "start": 0.3, "end": 0.7, "count": 2},
+        {"kind": "transfer_loss", "start": 0.3, "end": 0.7, "prob": 0.2},
+    ],
+}
+
+
+class TestScenarioFaults:
+    """The 'faults' block is validated, round-trips, and is stamped into
+    provenance so faulted runs replay bit-for-bit."""
+
+    def test_round_trip_dict_and_json(self):
+        from repro.sim.faults import FaultPlan
+
+        spec = ScenarioSpec.from_dict(fast_manifest(faults=FAULTS_BLOCK))
+        d = spec.as_dict()
+        assert d["faults"] == FaultPlan.from_dict(FAULTS_BLOCK).as_dict()
+        assert ScenarioSpec.from_dict(d) == spec
+        assert ScenarioSpec.from_json(spec.to_json()).as_dict() == d
+
+    def test_invalid_block_names_offending_field(self):
+        with pytest.raises(ValueError, match="prob"):
+            ScenarioSpec.from_dict(
+                fast_manifest(faults={"specs": [{"kind": "transfer_loss"}]})
+            )
+        with pytest.raises(ValueError, match="unknown key"):
+            ScenarioSpec.from_dict(fast_manifest(faults={"chaos": True}))
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec.from_dict(
+                fast_manifest(faults={"specs": [{"kind": "nope"}]})
+            )
+
+    @pytest.fixture(scope="class")
+    def faulted_result(self):
+        spec = ScenarioSpec.from_dict(
+            fast_manifest(faults=FAULTS_BLOCK)
+        ).validate()
+        return run_scenario(spec, jobs=1)
+
+    def test_provenance_embeds_fault_plan(self, faulted_result):
+        from repro.sim.faults import FaultPlan
+
+        prov = faulted_result.results[0].metrics.provenance
+        embedded = prov.scenario
+        assert embedded["faults"] == FaultPlan.from_dict(FAULTS_BLOCK).as_dict()
+        # the embedded scenario (faults included) is itself a valid spec
+        ScenarioSpec.from_dict(embedded).validate()
+
+    def test_faulted_rerun_is_bit_identical(self, faulted_result):
+        payload = faulted_result.results[0].metrics.as_dict()
+        res2 = rerun_scenario(payload)
+        assert res2.results[0].metrics == faulted_result.results[0].metrics
+
+    def test_faulted_serial_parallel_bit_identical(self):
+        spec = ScenarioSpec.from_dict(fast_manifest(
+            faults=FAULTS_BLOCK, protocols=["DTN-FLOW", "Direct"]
+        ))
+        serial = run_scenario(spec, jobs=1)
+        parallel = run_scenario(spec, jobs=2)
+        assert [r.metrics for r in serial.results] == [
+            r.metrics for r in parallel.results
+        ]

@@ -130,3 +130,28 @@ def test_trace_invariants(raw):
     # transit count bounded by records - #nodes
     if len(t):
         assert len(t.transits()) <= len(t) - t.n_nodes
+
+
+class TestReplayMonotonicity:
+    """Corrupt (NaN) timestamps must fail loudly, not scramble the schedule."""
+
+    def test_nan_start_raises_with_index_and_times(self):
+        nan = float("nan")
+        trace = Trace([
+            VisitRecord(start=0.0, end=10.0, node=0, landmark=0),
+            VisitRecord(start=nan, end=20.0, node=0, landmark=1),
+        ], name="corrupt")
+        with pytest.raises(ValueError, match=r"non-monotonic.*'corrupt'.*record \d"):
+            trace.replay_events(2, 0)
+
+    def test_nan_end_raises(self):
+        trace = Trace([
+            VisitRecord(start=5.0, end=float("nan"), node=0, landmark=0),
+        ], name="corrupt-end")
+        with pytest.raises(ValueError, match=r"record 0 ends at nan"):
+            trace.replay_events(2, 0)
+
+    def test_healthy_trace_is_unaffected(self, shuttle_trace):
+        events = shuttle_trace.replay_events(2, 0)
+        times = [e[0] for e in events]
+        assert times == sorted(times)
