@@ -12,9 +12,12 @@ synthetic-trace simulator, not the authors' testbed.
 Wall-clock tracking: the suite records its total duration and each
 benchmark's call-phase duration, plus whatever extra measurements tests
 register via :func:`record_bench` (the parallel-speedup benchmark uses
-this), and writes them to ``BENCH_sweeps.json`` at session end — the perf
-trajectory future PRs compare against.  ``--jobs N`` (or ``auto``) routes
-the Fig. 11-14 sweeps through the parallel executor.
+this), and appends them to the ``BENCH_sweeps.json`` history at session
+end — the perf trajectory future PRs compare against.  Each new snapshot
+is also ingested into the experiment store (``$REPRO_DB`` or
+``experiments.sqlite``) so ``repro db report`` can chart suite wall-clock
+over time; ingest failures never fail the benchmark session.  ``--jobs N``
+(or ``auto``) routes the Fig. 11-14 sweeps through the parallel executor.
 """
 
 from __future__ import annotations
@@ -66,10 +69,40 @@ def pytest_runtest_call(item):
     _BENCH["figures"][item.name] = round(perf_counter() - t0, 4)
 
 
+def _load_bench_history(path: str) -> list:
+    """Existing snapshots at ``path`` (legacy single-snapshot files become a
+    one-entry history); unreadable/foreign files start a fresh history."""
+    try:
+        with open(path) as fh:
+            existing = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []
+    if isinstance(existing, dict) and isinstance(existing.get("history"), list):
+        return [s for s in existing["history"] if isinstance(s, dict)]
+    if isinstance(existing, dict) and existing.get("suite") == "benchmarks":
+        return [existing]
+    return []
+
+
+def _ingest_bench(session, snapshot: dict) -> None:
+    """Best-effort ingest of the new snapshot into the experiment store."""
+    try:
+        from repro.store import ExperimentDB, ingest_bench_snapshot
+
+        db_path = os.environ.get("REPRO_DB") or os.path.join(
+            str(session.config.rootpath), "experiments.sqlite"
+        )
+        with ExperimentDB(db_path) as db:
+            ingest_bench_snapshot(db, snapshot)
+        print(f"ingested benchmark snapshot into {db_path}")
+    except Exception as exc:  # never fail the benchmark session over storage
+        print(f"benchmark snapshot not ingested: {exc}")
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _BENCH["figures"] and not _BENCH["extra"]:
         return  # nothing ran (collection error / --collect-only)
-    payload = {
+    snapshot = {
         "suite": "benchmarks",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "suite_seconds": round(perf_counter() - _SESSION_T0, 3),
@@ -83,10 +116,14 @@ def pytest_sessionfinish(session, exitstatus):
         "REPRO_BENCH_OUT",
         os.path.join(str(session.config.rootpath), "BENCH_sweeps.json"),
     )
+    history = _load_bench_history(out) + [snapshot]
+    payload = {"suite": "benchmarks", "history": history}
     with open(out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"\nwrote benchmark wall-clock timings to {out}")
+    print(f"\nappended benchmark wall-clock timings to {out} "
+          f"({len(history)} snapshot(s))")
+    _ingest_bench(session, snapshot)
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,7 @@ Commands
 ``scenario``    run/validate/show declarative scenario manifests
 ``rerun``       reproduce a past run from its exported provenance
 ``resilience``  degradation curves + re-convergence under injected faults
+``db``          experiment store: ingest/query/baseline/regress/report
 ``deployment``  the Section V-C campus deployment
 ``predict``     the Fig. 6 order-k prediction study
 ``trace``       replay a run with event tracing; follow a packet hop-by-hop
@@ -23,6 +24,13 @@ scenario) so result files are self-describing — ``repro rerun`` turns any
 such file back into the bit-identical experiment that produced it.
 ``run``, ``compare`` and ``sweep`` also accept ``--scenario FILE`` to take
 their whole configuration from a manifest (see ``docs/scenarios.md``).
+
+``run``, ``compare``, ``sweep``, ``scenario run`` and ``resilience`` accept
+``--record [--db PATH]`` to persist their results into the SQLite
+experiment store; ``repro db`` queries the store, pins baselines and gates
+candidate results against them (see ``docs/storage.md``).  Recording
+happens in the parent process only — parallel workers never touch the
+database.
 """
 
 from __future__ import annotations
@@ -57,6 +65,27 @@ from repro.eval.sweeps import memory_sweep, rate_sweep
 from repro.mobility import io as trace_io
 from repro.mobility import stats
 from repro.obs import ALL_EVENTS, Observability
+from repro.obs.provenance import _jsonable
+from repro.store import (
+    ExperimentDB,
+    IngestStats,
+    PointFilter,
+    Tolerance,
+    default_db_path,
+    export_baseline,
+    import_baseline,
+    ingest_degradation,
+    ingest_experiment_results,
+    ingest_payload,
+    ingest_scenario_result,
+    ingest_sweep_result,
+    latest_per_point,
+    pin_baseline,
+    query_points,
+    regress,
+    snapshot_rows,
+    write_report,
+)
 from repro.sim.engine import Simulation
 from repro.utils.tables import format_table
 
@@ -96,6 +125,24 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
 class _ScenarioArgError(Exception):
     """A scenario argument failed to load/validate (prints as exit code 2)."""
+
+
+def _store_path(args: argparse.Namespace) -> str:
+    return getattr(args, "db", None) or default_db_path()
+
+
+def _maybe_record(args: argparse.Namespace, ingest, *ingest_args, **ingest_kw) -> None:
+    """Persist results into the experiment store when ``--record`` is set.
+
+    Runs in the parent process only, after all (possibly parallel) workers
+    have returned — workers never open the database.
+    """
+    if not getattr(args, "record", False):
+        return
+    path = _store_path(args)
+    with ExperimentDB(path) as db:
+        stats = ingest(db, *ingest_args, **ingest_kw)
+    print(f"recorded {stats} -> {path}", file=sys.stderr)
 
 
 def _load_scenario_arg(source: str) -> ScenarioSpec:
@@ -174,6 +221,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+        _maybe_record(args, ingest_scenario_result, res, kind="run")
         result = res.results[0].metrics
         point = res.points[0]
         if args.json:
@@ -187,9 +235,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     point = PointSpec(
         protocol=args.protocol, memory_kb=args.memory, rate=args.rate, seed=args.seed
     )
-    result = run_points(
+    results = run_points(
         trace, profile, [point], jobs=parse_jobs(args.jobs), trace_spec=tspec
-    )[0].metrics
+    )
+    _maybe_record(
+        args, ingest_experiment_results, results,
+        kind="run", label=f"run:{args.protocol}",
+    )
+    result = results[0].metrics
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
         return 0
@@ -201,6 +254,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if args.scenario:
         spec = _load_scenario_arg(args.scenario)
         res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+        _maybe_record(args, ingest_scenario_result, res, kind="compare")
         if args.json:
             print(json.dumps(res.as_dict(), indent=2, sort_keys=True))
             return 0
@@ -237,6 +291,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     for m, ci in cis.items()
                 },
             })
+        _maybe_record(
+            args, ingest_payload, json_rows, label=f"compare:{trace.name}"
+        )
     else:
         results = run_matrix(
             trace, profile, PAPER_PROTOCOLS,
@@ -250,6 +307,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 r.forwarding_ops, r.total_cost,
             ])
             json_rows.append(r.as_dict())
+        _maybe_record(
+            args, ingest_experiment_results, list(results.values()),
+            kind="compare", label=f"compare:{trace.name}",
+        )
     if args.json:
         print(json.dumps(json_rows, indent=2, sort_keys=True))
         return 0
@@ -292,8 +353,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = run_scenario(spec, jobs=jobs).sweep_result()
-        _print_sweep_result(result)
+        res = run_scenario(spec, jobs=jobs)
+        _maybe_record(args, ingest_scenario_result, res, kind="sweep")
+        _print_sweep_result(res.sweep_result())
         return 0
     if args.parameter is None:
         print("repro sweep needs a parameter (memory|rate) or --scenario FILE",
@@ -313,6 +375,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         result = rate_sweep(trace, profile, rates=values,
                             memory_kb=args.memory, protocols=protocols, seed=args.seed,
                             jobs=jobs, trace_spec=tspec)
+    _maybe_record(
+        args, ingest_sweep_result, result,
+        label=f"{trace.name}:{args.parameter}",
+    )
     _print_sweep_result(result)
     return 0
 
@@ -347,6 +413,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         return 0
     # action == "run"
     res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+    _maybe_record(args, ingest_scenario_result, res)
     payload = res.as_dict()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -383,10 +450,7 @@ def cmd_rerun(args: argparse.Namespace) -> int:
 
 
 def cmd_resilience(args: argparse.Namespace) -> int:
-    trace, profile, _ = _resolve_trace(args.trace, args.seed)
-    config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
-    if args.workload_scale is not None:
-        config = dataclasses.replace(config, workload_scale=args.workload_scale)
+    # validate cheap arguments before the (expensive) trace build
     protocols = (
         args.protocols.split(",") if args.protocols else ["DTN-FLOW", "PROPHET", "PGR"]
     )
@@ -408,6 +472,10 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         print(f"--intensities must be comma-separated numbers, got "
               f"{args.intensities!r}", file=sys.stderr)
         return 2
+    trace, profile, _ = _resolve_trace(args.trace, args.seed)
+    config = profile.sim_config(memory_kb=args.memory, rate=args.rate, seed=args.seed)
+    if args.workload_scale is not None:
+        config = dataclasses.replace(config, workload_scale=args.workload_scale)
     curves = degradation_curves(
         trace,
         protocols=protocols,
@@ -416,7 +484,14 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         jobs=parse_jobs(args.jobs),
     )
-    payload = {"degradation": curves.as_dict()}
+    config_dict = _jsonable(dataclasses.asdict(config))
+    _maybe_record(
+        args, ingest_degradation, curves,
+        config=config_dict, label=trace.name,
+    )
+    # the config rides along so `repro db ingest` of this artifact produces
+    # the same point identity as recording the live run with --record
+    payload = {"degradation": curves.as_dict(), "config": config_dict}
     if not args.no_reconvergence:
         rec = reconvergence_after_death(
             trace,
@@ -636,6 +711,226 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_json_arg(path: str):
+    """Load a JSON file CLI argument; raises _ScenarioArgError (exit 2)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise _ScenarioArgError(
+            f"cannot read {path}: {exc.strerror or exc}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise _ScenarioArgError(f"{path} is not valid JSON: {exc}") from None
+
+
+def cmd_db_ingest(args: argparse.Namespace) -> int:
+    total = IngestStats()
+    with ExperimentDB(_store_path(args)) as db:
+        for path in args.files:
+            payload = _load_json_arg(path)
+            try:
+                stats = ingest_payload(db, payload, label=args.label or path)
+            except ValueError as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                return 2
+            print(f"{path}: {stats}")
+            total.add(stats)
+    if len(args.files) > 1:
+        print(f"total: {total}")
+    print(f"store: {_store_path(args)}")
+    return 0
+
+
+def _cli_point_filter(args: argparse.Namespace) -> PointFilter:
+    return PointFilter(
+        protocol=getattr(args, "protocol", None),
+        trace=getattr(args, "filter_trace", None),
+        scenario_hash=getattr(args, "hash", None),
+        kind=getattr(args, "kind", None),
+    )
+
+
+def cmd_db_query(args: argparse.Namespace) -> int:
+    with ExperimentDB(_store_path(args)) as db:
+        flt = _cli_point_filter(args)
+        rows = (
+            latest_per_point(db, filter=flt)
+            if args.latest
+            else query_points(db, filter=flt, metric=args.metric)
+        )
+    if args.latest and args.metric:
+        rows = [r for r in rows if args.metric in r.metrics]
+    if args.limit:
+        rows = rows[-args.limit:]
+    if args.json:
+        print(json.dumps([r.as_dict() for r in rows], indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no stored points match")
+        return 0
+    table = []
+    for r in rows:
+        if args.metric:
+            shown = f"{r.metrics[args.metric]:g}"
+            if r.half_widths.get(args.metric):
+                shown += f" ± {r.half_widths[args.metric]:g}"
+        else:
+            shown = ", ".join(
+                f"{m}={r.metrics[m]:g}"
+                for m in ("success_rate", "avg_delay")
+                if m in r.metrics
+            ) or f"{len(r.metrics)} metric(s)"
+        sweep = (
+            f"{r.sweep_parameter}={r.sweep_value:g}"
+            if r.sweep_parameter is not None and r.sweep_value is not None
+            else "-"
+        )
+        table.append([
+            r.recorded_at, r.scenario_hash[:12], r.protocol, r.trace,
+            sweep, shown,
+        ])
+    title = (
+        "latest result per resolved point:" if args.latest
+        else "stored points (oldest first):"
+    )
+    print(format_table(
+        ["recorded", "point", "protocol", "trace", "sweep",
+         args.metric or "metrics"],
+        table, title=title,
+    ))
+    return 0
+
+
+def cmd_db_baseline(args: argparse.Namespace) -> int:
+    def usage(msg: str) -> int:
+        print(msg, file=sys.stderr)
+        return 2
+
+    with ExperimentDB(_store_path(args)) as db:
+        if args.action == "list":
+            names = db.baseline_names()
+            if not names:
+                print("no pinned baselines")
+                return 0
+            print(format_table(
+                ["baseline", "points", "metrics"],
+                [
+                    [n, len({r["scenario_hash"] for r in db.baseline_rows(n)}),
+                     len(db.baseline_rows(n))]
+                    for n in names
+                ],
+                title="pinned baselines:",
+            ))
+            return 0
+        if args.action == "pin":
+            if len(args.names) != 1:
+                return usage("usage: repro db baseline pin NAME [--protocol P] "
+                             "[--trace T] [--note TEXT] [--replace]")
+            try:
+                n = pin_baseline(
+                    db, args.names[0], filter=_cli_point_filter(args),
+                    note=args.note, replace=args.replace,
+                )
+            except ValueError as exc:
+                return usage(str(exc))
+            print(f"pinned baseline {args.names[0]!r}: {n} point(s)")
+            return 0
+        if args.action == "show":
+            if len(args.names) != 1:
+                return usage("usage: repro db baseline show NAME")
+            try:
+                rows = db.baseline_rows(args.names[0])
+            except ValueError as exc:
+                return usage(str(exc))
+            print(format_table(
+                ["point", "protocol", "trace", "metric", "value", "±CI"],
+                [
+                    [r["scenario_hash"][:12], r["protocol"], r["trace"],
+                     r["metric"], f"{r['value']:g}",
+                     f"{r['half_width']:g}" if r.get("half_width") else "-"]
+                    for r in rows
+                ],
+                title=f"baseline {args.names[0]!r}:",
+            ))
+            return 0
+        if args.action == "export":
+            if len(args.names) != 2:
+                return usage("usage: repro db baseline export NAME FILE")
+            name, out = args.names
+            try:
+                snap = export_baseline(db, name)
+            except ValueError as exc:
+                return usage(str(exc))
+            with open(out, "w", encoding="utf-8") as fh:
+                json.dump(snap, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"exported baseline {name!r} ({len(snap['rows'])} row(s)) "
+                  f"to {out}")
+            return 0
+        # action == "import"
+        if len(args.names) != 1:
+            return usage("usage: repro db baseline import FILE [--name NAME] "
+                         "[--replace]")
+        snapshot = _load_json_arg(args.names[0])
+        try:
+            name, count = import_baseline(
+                db, snapshot, name=args.name, replace=args.replace
+            )
+        except ValueError as exc:
+            return usage(str(exc))
+        print(f"imported baseline {name!r}: {count} row(s)")
+        return 0
+
+
+def cmd_db_regress(args: argparse.Namespace) -> int:
+    if (args.baseline is None) == (args.baseline_file is None):
+        print("give exactly one of --baseline NAME or --baseline-file FILE",
+              file=sys.stderr)
+        return 2
+    uniform = None
+    if args.abs is not None or args.rel is not None:
+        uniform = Tolerance(abs_tol=args.abs or 0.0, rel_tol=args.rel or 0.0)
+    with ExperimentDB(_store_path(args)) as db:
+        try:
+            if args.baseline_file is not None:
+                name, rows = snapshot_rows(_load_json_arg(args.baseline_file))
+                verdict = regress(
+                    db, baseline_rows=rows, baseline_name=name,
+                    filter=_cli_point_filter(args), uniform=uniform,
+                    fail_on_missing=args.fail_on_missing,
+                )
+            else:
+                verdict = regress(
+                    db, baseline=args.baseline,
+                    filter=_cli_point_filter(args), uniform=uniform,
+                    fail_on_missing=args.fail_on_missing,
+                )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(verdict.to_json())
+            fh.write("\n")
+        print(f"wrote verdict to {args.out}", file=sys.stderr)
+    if args.json:
+        print(verdict.to_json())
+    else:
+        print(verdict.summary())
+    return 0 if verdict.passed else 1
+
+
+def cmd_db_report(args: argparse.Namespace) -> int:
+    with ExperimentDB(_store_path(args)) as db:
+        text, _ = write_report(db, out=args.out, as_json=args.json)
+    if args.out:
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -669,6 +964,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for independent experiment "
                             "points ('auto' = all cores; default 1 = serial)")
 
+    def add_record(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--record", action="store_true",
+                       help="record the results into the experiment store "
+                            "(see docs/storage.md)")
+        p.add_argument("--db", default=None, metavar="PATH",
+                       help="experiment store path (default: $REPRO_DB or "
+                            "./experiments.sqlite)")
+
     def add_scenario_opt(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scenario", default=None, metavar="FILE",
                        help="take the whole configuration from a scenario "
@@ -680,6 +983,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload(p)
     add_jobs(p)
     add_scenario_opt(p)
+    add_record(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_run)
@@ -692,6 +996,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of workload seeds (>1 adds 95%% CIs)")
     add_jobs(p)
     add_scenario_opt(p)
+    add_record(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_compare)
@@ -737,6 +1042,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocols", default=None, help="comma-separated protocol names")
     add_jobs(p)
     add_scenario_opt(p)
+    add_record(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -749,6 +1055,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("sources", nargs="*", metavar="SCENARIO",
                    help="scenario JSON file(s) or preset name(s)")
     add_jobs(p)
+    add_record(p)
     p.add_argument("--out", default=None, metavar="FILE",
                    help="(run) write the full results JSON to FILE")
     p.add_argument("--json", action="store_true",
@@ -801,11 +1108,112 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-reconvergence", action="store_true",
                    help="skip the landmark-death re-convergence measurement")
     add_jobs(p)
+    add_record(p)
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write the degradation-curve JSON report to FILE")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON")
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "db",
+        help="experiment store: ingest/query/baseline/regress/report",
+        description="The persistent experiment store: a SQLite warehouse of "
+                    "recorded results keyed by the content hash of each "
+                    "fully-resolved scenario, with named baselines and a "
+                    "tolerance-band regression gate (see docs/storage.md).",
+    )
+    dbsub = p.add_subparsers(dest="db_command", required=True)
+
+    def add_db_path(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--db", default=None, metavar="PATH",
+                       help="experiment store path (default: $REPRO_DB or "
+                            "./experiments.sqlite)")
+
+    def add_db_filters(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--protocol", default=None, help="filter by protocol")
+        q.add_argument("--trace", dest="filter_trace", default=None,
+                       help="filter by trace name")
+
+    q = dbsub.add_parser("ingest", help="ingest exported result JSON file(s)")
+    add_db_path(q)
+    q.add_argument("files", nargs="+", metavar="FILE",
+                   help="run/compare/sweep/resilience/benchmark JSON export")
+    q.add_argument("--label", default="", help="label stored on the new run(s)")
+    q.set_defaults(func=cmd_db_ingest)
+
+    q = dbsub.add_parser("query", help="list stored points")
+    add_db_path(q)
+    add_db_filters(q)
+    q.add_argument("--hash", default=None,
+                   help="filter by scenario-hash prefix")
+    q.add_argument("--kind", default=None,
+                   help="filter by run kind (run/compare/sweep/resilience/...)")
+    q.add_argument("--metric", default=None,
+                   help="show (and require) this metric")
+    q.add_argument("--latest", action="store_true",
+                   help="only the most recent result per resolved point")
+    q.add_argument("--limit", type=int, default=0,
+                   help="show only the most recent N rows")
+    q.add_argument("--json", action="store_true",
+                   help="print the rows as JSON")
+    q.set_defaults(func=cmd_db_query)
+
+    q = dbsub.add_parser(
+        "baseline",
+        help="pin/list/show/export/import named baselines",
+        description="Pin the store's latest-per-point results under a name, "
+                    "or move baselines through committable JSON snapshots: "
+                    "pin NAME | list | show NAME | export NAME FILE | "
+                    "import FILE.",
+    )
+    add_db_path(q)
+    q.add_argument("action", choices=["pin", "list", "show", "export", "import"])
+    q.add_argument("names", nargs="*", metavar="ARG",
+                   help="pin/show: NAME; export: NAME FILE; import: FILE")
+    add_db_filters(q)
+    q.add_argument("--note", default="", help="(pin) free-text note")
+    q.add_argument("--name", default=None,
+                   help="(import) rename the imported baseline")
+    q.add_argument("--replace", action="store_true",
+                   help="(pin/import) overwrite an existing baseline")
+    q.set_defaults(func=cmd_db_baseline)
+
+    q = dbsub.add_parser(
+        "regress",
+        help="gate latest results against a baseline (exit 1 on FAIL)",
+    )
+    add_db_path(q)
+    add_db_filters(q)
+    q.add_argument("--baseline", default=None, metavar="NAME",
+                   help="pinned in-store baseline to gate against")
+    q.add_argument("--baseline-file", default=None, metavar="FILE",
+                   help="baseline JSON snapshot to gate against "
+                        "(repro db baseline export)")
+    q.add_argument("--abs", type=float, default=None,
+                   help="uniform absolute tolerance (replaces the per-metric "
+                        "defaults)")
+    q.add_argument("--rel", type=float, default=None,
+                   help="uniform relative tolerance (replaces the per-metric "
+                        "defaults)")
+    q.add_argument("--fail-on-missing", action="store_true",
+                   help="FAIL when a pinned point has no candidate recording")
+    q.add_argument("--out", default=None, metavar="FILE",
+                   help="write the machine-readable verdict JSON to FILE")
+    q.add_argument("--json", action="store_true",
+                   help="print the verdict as JSON instead of a summary")
+    q.set_defaults(func=cmd_db_regress)
+
+    q = dbsub.add_parser(
+        "report",
+        help="regenerate the markdown/JSON trend report (figs. 11-14)",
+    )
+    add_db_path(q)
+    q.add_argument("--out", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    q.add_argument("--json", action="store_true",
+                   help="emit the JSON report instead of markdown")
+    q.set_defaults(func=cmd_db_report)
 
     p = sub.add_parser("deployment", help="the Section V-C campus deployment")
     p.add_argument("--days", type=int, default=6)

@@ -9,8 +9,10 @@ later without archaeology through shell history.
 from __future__ import annotations
 
 import dataclasses
+import json
 import platform
 from dataclasses import dataclass, field
+from pathlib import PurePath
 from typing import Any, Dict, Optional
 
 
@@ -24,16 +26,39 @@ def package_version() -> str:
         return "unknown"
 
 
+def _set_sort_key(value: Any) -> str:
+    """A total order over already-jsonable values (for set determinism)."""
+    return json.dumps(value, sort_keys=True)
+
+
 def _jsonable(value: Any) -> Any:
-    """Recursively coerce config values into JSON-serialisable shapes."""
+    """Recursively coerce config values into JSON-serialisable shapes.
+
+    The output is *deterministic*: sets/frozensets are emitted sorted (by
+    their canonical JSON encoding, so mixed-type sets still order stably),
+    tuples become lists, :class:`~pathlib.PurePath` becomes its string, and
+    numpy scalars collapse to plain Python numbers.  Determinism matters
+    because the experiment store content-hashes these dicts — the same
+    resolved scenario must always hash identically.
+    """
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(v) for v in value), key=_set_sort_key)
+    if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
+    # numpy scalars (np.int64, np.float32, np.bool_, ...) expose .item();
+    # duck-type rather than import numpy here.  Checked before the plain
+    # scalars because np.float64 subclasses float but must collapse to the
+    # builtin type for hash/type determinism.
+    if type(value).__module__ == "numpy" and hasattr(value, "item"):
+        return _jsonable(value.item())
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, PurePath):
+        return str(value)
     return repr(value)
 
 

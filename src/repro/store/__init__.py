@@ -1,0 +1,81 @@
+"""Persistent experiment store: SQLite warehouse + regression harness.
+
+Every recorded run lands in a WAL-mode SQLite database keyed by the
+content hash of its fully-resolved scenario, so re-recording an identical
+run is a no-op while changed results accumulate as time-ordered history.
+On top of the warehouse sit query helpers (latest-per-point, trend
+series), named baselines (pin / export / import), a tolerance-band
+regression gate, and the fig11-14 trend report.
+"""
+
+from repro.store.baselines import (
+    export_baseline,
+    import_baseline,
+    pin_baseline,
+    snapshot_rows,
+)
+from repro.store.db import (
+    ExperimentDB,
+    PointRow,
+    canonical_json,
+    content_hash,
+    default_db_path,
+)
+from repro.store.ingest import (
+    IngestStats,
+    ingest_bench_snapshot,
+    ingest_degradation,
+    ingest_experiment_results,
+    ingest_payload,
+    ingest_scenario_result,
+    ingest_sweep_result,
+)
+from repro.store.query import (
+    PointFilter,
+    latest_per_point,
+    query_points,
+    trend_series,
+)
+from repro.store.regress import (
+    DEFAULT_TOLERANCES,
+    METRIC_DIRECTIONS,
+    RegressionCheck,
+    RegressionVerdict,
+    Tolerance,
+    compare_points,
+    regress,
+)
+from repro.store.report import render_markdown, trend_report, write_report
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "METRIC_DIRECTIONS",
+    "ExperimentDB",
+    "IngestStats",
+    "PointFilter",
+    "PointRow",
+    "RegressionCheck",
+    "RegressionVerdict",
+    "Tolerance",
+    "canonical_json",
+    "compare_points",
+    "content_hash",
+    "default_db_path",
+    "export_baseline",
+    "import_baseline",
+    "ingest_bench_snapshot",
+    "ingest_degradation",
+    "ingest_experiment_results",
+    "ingest_payload",
+    "ingest_scenario_result",
+    "ingest_sweep_result",
+    "latest_per_point",
+    "pin_baseline",
+    "query_points",
+    "regress",
+    "render_markdown",
+    "snapshot_rows",
+    "trend_report",
+    "trend_series",
+    "write_report",
+]

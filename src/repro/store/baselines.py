@@ -1,0 +1,96 @@
+"""Named baselines: pinned metric snapshots the regression gate compares to.
+
+A *baseline* freezes the latest-per-point metric values of a (possibly
+filtered) set of stored points under a name.  Baselines live in the
+database, but also export to / import from standalone JSON snapshots so a
+repository can commit one (``.github``'s regression gate does exactly
+that) and gate PRs against it without shipping a binary database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.store.db import ExperimentDB
+from repro.store.query import PointFilter, latest_per_point
+
+__all__ = [
+    "export_baseline",
+    "import_baseline",
+    "pin_baseline",
+    "snapshot_rows",
+]
+
+#: snapshot format version (bump on shape changes)
+SNAPSHOT_SCHEMA = 1
+
+
+def pin_baseline(
+    db: ExperimentDB,
+    name: str,
+    *,
+    filter: Optional[PointFilter] = None,
+    note: str = "",
+    replace: bool = False,
+) -> int:
+    """Pin the latest-per-point metric values matching ``filter`` as
+    baseline ``name``; returns the number of pinned points."""
+    points = latest_per_point(db, filter=filter or PointFilter())
+    if not points:
+        raise ValueError(
+            "no stored points match the filter — record or ingest results "
+            "before pinning a baseline"
+        )
+    db.pin_baseline(name, points, note=note, replace=replace)
+    return len(points)
+
+
+def export_baseline(db: ExperimentDB, name: str) -> Dict[str, Any]:
+    """A committable JSON snapshot of baseline ``name``."""
+    rows = db.baseline_rows(name)
+    return {
+        "baseline": name,
+        "schema": SNAPSHOT_SCHEMA,
+        "rows": rows,
+    }
+
+
+def snapshot_rows(snapshot: Mapping[str, Any]) -> Tuple[str, List[Dict[str, Any]]]:
+    """Validate a baseline snapshot dict; returns ``(name, rows)``."""
+    if not isinstance(snapshot, Mapping) or "rows" not in snapshot:
+        raise ValueError(
+            "not a baseline snapshot (expected {'baseline': ..., 'rows': [...]})"
+        )
+    schema = snapshot.get("schema", SNAPSHOT_SCHEMA)
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"baseline snapshot schema {schema} unsupported "
+            f"(this package reads {SNAPSHOT_SCHEMA})"
+        )
+    name = str(snapshot.get("baseline") or "imported")
+    rows = snapshot["rows"]
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("baseline snapshot has no rows")
+    for i, row in enumerate(rows):
+        if not isinstance(row, Mapping) or "scenario_hash" not in row or \
+                "metric" not in row or "value" not in row:
+            raise ValueError(
+                f"baseline snapshot row {i} needs scenario_hash/metric/value, "
+                f"got {row!r}"
+            )
+    return name, [dict(r) for r in rows]
+
+
+def import_baseline(
+    db: ExperimentDB,
+    snapshot: Mapping[str, Any],
+    *,
+    name: Optional[str] = None,
+    replace: bool = False,
+) -> Tuple[str, int]:
+    """Import a snapshot (see :func:`export_baseline`) into the database;
+    returns ``(baseline name, row count)``."""
+    snap_name, rows = snapshot_rows(snapshot)
+    final = name or snap_name
+    db.pin_baseline_rows(final, rows, note="imported snapshot", replace=replace)
+    return final, len(rows)

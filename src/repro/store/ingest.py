@@ -1,0 +1,534 @@
+"""Ingestion: turn every result shape the harness produces into stored rows.
+
+Sources understood (objects and their exported-JSON forms):
+
+* :class:`~repro.eval.scenario.ScenarioResult` / ``repro scenario run``
+  bundles (``{"scenario": ..., "results": [...]}``);
+* lists of :class:`~repro.eval.experiment.ExperimentResult` (what the
+  parallel executor returns) and ``repro run/compare --json`` rows —
+  anything whose metrics carry a :class:`RunProvenance` with a resolved
+  scenario;
+* ``repro compare --seeds N`` confidence rows (metric means ride in with
+  their CI half-widths, which the regression tolerance bands respect);
+* :class:`~repro.eval.sweeps.SweepResult` objects and their JSON exports
+  (per-point provenance rows aligned with the metric series);
+* :class:`~repro.eval.resilience.DegradationCurves` and the
+  ``repro resilience --out`` report JSON;
+* benchmark wall-clock snapshots (``BENCH_sweeps.json``, single snapshot
+  or the appended ``history`` form).
+
+Deduplication is content-addressed (see :mod:`repro.store.db`): the point
+key is the fully-resolved single-point scenario dict, so re-ingesting the
+same artifact — or re-recording a bit-identical rerun — is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.provenance import _jsonable
+from repro.store.db import ExperimentDB, content_hash
+
+__all__ = [
+    "IngestStats",
+    "ingest_bench_snapshot",
+    "ingest_degradation",
+    "ingest_experiment_results",
+    "ingest_payload",
+    "ingest_scenario_result",
+    "ingest_sweep_result",
+]
+
+
+@dataclass
+class IngestStats:
+    """What one ingestion did: runs created, points inserted vs deduped."""
+
+    runs: int = 0
+    points_new: int = 0
+    points_dup: int = 0
+
+    def add(self, other: "IngestStats") -> "IngestStats":
+        self.runs += other.runs
+        self.points_new += other.points_new
+        self.points_dup += other.points_dup
+        return self
+
+    @property
+    def points(self) -> int:
+        return self.points_new + self.points_dup
+
+    def __str__(self) -> str:
+        return (
+            f"{self.runs} run(s), {self.points} point(s): "
+            f"{self.points_new} new, {self.points_dup} already recorded"
+        )
+
+
+#: numeric MetricsSummary fields worth storing (strings/structures skipped)
+def _numeric_metrics(row: Mapping[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key, value in row.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[str(key)] = float(value)
+    return out
+
+
+def _scenario_workload(scenario: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Pull (trace-independent) workload knobs back out of a scenario dict."""
+    out: Dict[str, Any] = {}
+    if not isinstance(scenario, Mapping):
+        return out
+    sim = scenario.get("sim")
+    if isinstance(sim, Mapping):
+        if isinstance(sim.get("node_memory_kb"), (int, float)):
+            out["memory_kb"] = float(sim["node_memory_kb"])
+        if isinstance(sim.get("rate_per_landmark_per_day"), (int, float)):
+            out["rate"] = float(sim["rate_per_landmark_per_day"])
+    seeds = scenario.get("seeds")
+    if isinstance(seeds, Sequence) and len(seeds) == 1 and isinstance(seeds[0], int):
+        out["seed"] = int(seeds[0])
+    return out
+
+
+def _fallback_identity(
+    protocol: str,
+    trace: str,
+    seed: Optional[int],
+    memory_kb: Optional[float],
+    rate: Optional[float],
+    config: Optional[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """A canonical identity for results without an embedded scenario
+    (inline traces); includes the resolved config so distinct workloads
+    never collide."""
+    return _jsonable(
+        {
+            "kind": "unscenarioed",
+            "protocol": protocol,
+            "trace": trace,
+            "seed": seed,
+            "memory_kb": memory_kb,
+            "rate": rate,
+            "config": dict(config) if config else None,
+        }
+    )
+
+
+def _record_metrics_row(
+    db: ExperimentDB,
+    run_id: int,
+    row: Mapping[str, Any],
+    *,
+    sweep_parameter: Optional[str] = None,
+    sweep_value: Optional[float] = None,
+) -> Tuple[bool, bool]:
+    """Record one MetricsSummary-shaped dict; returns (recorded, new)."""
+    metrics = _numeric_metrics(row)
+    if not metrics:
+        return False, False
+    prov = row.get("provenance")
+    scenario = None
+    seed = None
+    config = None
+    if isinstance(prov, Mapping):
+        scenario = prov.get("scenario")
+        seed = prov.get("seed")
+        config = prov.get("config")
+    protocol = str(row.get("protocol") or (prov or {}).get("protocol") or "?")
+    trace = str(row.get("trace") or (prov or {}).get("trace") or "")
+    workload = _scenario_workload(scenario)
+    memory_kb = workload.get("memory_kb")
+    rate = workload.get("rate")
+    seed = workload.get("seed", seed)
+    if scenario is None:
+        scenario = _fallback_identity(protocol, trace, seed, memory_kb, rate, config)
+    _, new = db.record_point(
+        run_id,
+        scenario,
+        metrics,
+        protocol=protocol,
+        trace=trace,
+        seed=seed,
+        memory_kb=memory_kb,
+        rate=rate,
+        sweep_parameter=sweep_parameter,
+        sweep_value=sweep_value,
+    )
+    return True, new
+
+
+def ingest_experiment_results(
+    db: ExperimentDB,
+    results: Iterable[Any],
+    *,
+    kind: str = "run",
+    label: str = "",
+) -> IngestStats:
+    """Ingest :class:`ExperimentResult` objects (or bare metric summaries)."""
+    stats = IngestStats()
+    rows: List[Mapping[str, Any]] = []
+    for r in results:
+        metrics = getattr(r, "metrics", r)
+        rows.append(metrics.as_dict() if hasattr(metrics, "as_dict") else metrics)
+    if not rows:
+        return stats
+    run_id = db.record_run(kind, label=label)
+    stats.runs += 1
+    for row in rows:
+        recorded, new = _record_metrics_row(db, run_id, row)
+        if recorded:
+            stats.points_new += int(new)
+            stats.points_dup += int(not new)
+    return stats
+
+
+def ingest_scenario_result(
+    db: ExperimentDB, result: Any, *, kind: str = "scenario", label: str = ""
+) -> IngestStats:
+    """Ingest a :class:`~repro.eval.scenario.ScenarioResult`."""
+    label = label or getattr(result.spec, "name", "")
+    stats = IngestStats()
+    run_id = db.record_run(
+        kind, label=label, extra={"scenario": result.spec.as_dict()}
+    )
+    stats.runs += 1
+    sweep = result.spec.sweep
+    for point, outcome in zip(result.points, result.results):
+        sweep_value: Optional[float] = None
+        if sweep is not None:
+            sweep_value = (
+                point.memory_kb if sweep.parameter == "memory_kb" else point.rate
+            )
+        recorded, new = _record_metrics_row(
+            db,
+            run_id,
+            outcome.metrics.as_dict(),
+            sweep_parameter=sweep.parameter if sweep is not None else None,
+            sweep_value=sweep_value,
+        )
+        if recorded:
+            stats.points_new += int(new)
+            stats.points_dup += int(not new)
+    return stats
+
+
+def ingest_sweep_result(
+    db: ExperimentDB, sweep: Any, *, label: str = ""
+) -> IngestStats:
+    """Ingest a :class:`~repro.eval.sweeps.SweepResult` (object form)."""
+    return _ingest_sweep_payload(db, sweep.as_dict(), label=label)
+
+
+def _ingest_sweep_payload(
+    db: ExperimentDB, payload: Mapping[str, Any], *, label: str = ""
+) -> IngestStats:
+    stats = IngestStats()
+    parameter = payload.get("parameter")
+    values = payload.get("values") or []
+    series = payload.get("series") or {}
+    provenance = payload.get("provenance") or {}
+    run_id = db.record_run(
+        "sweep",
+        label=label or f"{payload.get('trace', '')}:{parameter}",
+        extra={"trace": payload.get("trace"), "parameter": parameter,
+               "values": list(values)},
+    )
+    stats.runs += 1
+    for protocol, metric_series in series.items():
+        prov_rows = provenance.get(protocol) or [None] * len(values)
+        for i, value in enumerate(values):
+            metrics = {
+                m: float(s[i])
+                for m, s in metric_series.items()
+                if isinstance(s, Sequence) and i < len(s)
+            }
+            if not metrics:
+                continue
+            prov = prov_rows[i] if i < len(prov_rows) else None
+            row: Dict[str, Any] = dict(metrics)
+            row["protocol"] = protocol
+            row["trace"] = payload.get("trace", "")
+            if isinstance(prov, Mapping):
+                row["provenance"] = prov
+            recorded, new = _record_metrics_row(
+                db, run_id, row,
+                sweep_parameter=parameter, sweep_value=float(value),
+            )
+            if recorded:
+                stats.points_new += int(new)
+                stats.points_dup += int(not new)
+    return stats
+
+
+def ingest_degradation(
+    db: ExperimentDB,
+    curves: Any,
+    *,
+    config: Optional[Mapping[str, Any]] = None,
+    label: str = "",
+) -> IngestStats:
+    """Ingest a :class:`~repro.eval.resilience.DegradationCurves`."""
+    return _ingest_degradation_records(
+        db,
+        curves.point_records(config=dict(config) if config else None),
+        trace=curves.trace,
+        extra={
+            "trace": curves.trace,
+            "intensities": list(curves.intensities),
+            "fault_seed": curves.fault_seed,
+        },
+        label=label,
+    )
+
+
+def _ingest_degradation_records(
+    db: ExperimentDB,
+    records: Sequence[Mapping[str, Any]],
+    *,
+    trace: str,
+    extra: Mapping[str, Any],
+    label: str = "",
+) -> IngestStats:
+    stats = IngestStats()
+    run_id = db.record_run("resilience", label=label or trace, extra=extra)
+    stats.runs += 1
+    for rec in records:
+        identity = rec["identity"]
+        _, new = db.record_point(
+            run_id,
+            identity,
+            {k: float(v) for k, v in rec["metrics"].items()},
+            protocol=str(rec.get("protocol", "?")),
+            trace=trace,
+            sweep_parameter="intensity",
+            sweep_value=float(identity.get("intensity", 0.0)),
+        )
+        stats.points_new += int(new)
+        stats.points_dup += int(not new)
+    return stats
+
+
+def _ingest_degradation_payload(
+    db: ExperimentDB,
+    payload: Mapping[str, Any],
+    *,
+    config: Optional[Mapping[str, Any]] = None,
+    label: str = "",
+) -> IngestStats:
+    """Ingest a degradation-curves dict (``DegradationCurves.as_dict``)."""
+    trace = str(payload.get("trace", ""))
+    fault_seed = payload.get("fault_seed", 0)
+    records: List[Dict[str, Any]] = []
+    for protocol, points in sorted((payload.get("curves") or {}).items()):
+        for p in points:
+            identity: Dict[str, Any] = {
+                "kind": "degradation",
+                "trace": trace,
+                "protocol": protocol,
+                "intensity": p.get("intensity"),
+                "fault_seed": fault_seed,
+            }
+            if config is not None:
+                identity["config"] = _jsonable(config)
+            # intensity is identity, not a result — keep the metrics hash
+            # identical to the object-ingest path (point_records)
+            metrics = {
+                k: v for k, v in _numeric_metrics(p).items() if k != "intensity"
+            }
+            records.append(
+                {"identity": identity, "protocol": protocol, "metrics": metrics}
+            )
+    return _ingest_degradation_records(
+        db,
+        records,
+        trace=trace,
+        extra={
+            "trace": trace,
+            "intensities": list(payload.get("intensities") or []),
+            "fault_seed": fault_seed,
+        },
+        label=label,
+    )
+
+
+# -- benchmark snapshots -------------------------------------------------------
+
+
+def _flatten_numeric(prefix: str, node: Any, out: Dict[str, float]) -> None:
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    elif isinstance(node, Mapping):
+        for key, value in node.items():
+            _flatten_numeric(f"{prefix}.{key}" if prefix else str(key), value, out)
+
+
+def ingest_bench_snapshot(
+    db: ExperimentDB, snapshot: Mapping[str, Any], *, label: str = ""
+) -> IngestStats:
+    """Ingest one benchmark wall-clock snapshot as a ``bench`` run.
+
+    The whole snapshot is content-hashed for run-level dedup, so
+    re-ingesting an already-stored history file is a no-op.
+    """
+    stats = IngestStats()
+    run_id = db.record_run(
+        "bench",
+        label=label or str(snapshot.get("timestamp", "")),
+        extra={k: v for k, v in snapshot.items()
+               if k in ("timestamp", "jobs", "cpu_count", "full_scale")},
+        run_hash=content_hash({"bench_snapshot": snapshot}),
+        created_at=_bench_created_at(snapshot),
+    )
+    if run_id is None:
+        return stats
+    stats.runs += 1
+    values: Dict[str, float] = {}
+    if isinstance(snapshot.get("suite_seconds"), (int, float)):
+        values["suite_seconds"] = float(snapshot["suite_seconds"])
+    _flatten_numeric("figures", snapshot.get("figures") or {}, values)
+    _flatten_numeric("parallel", snapshot.get("parallel") or {}, values)
+    if values:
+        db.record_run_metrics(run_id, values)
+    return stats
+
+
+def _bench_created_at(snapshot: Mapping[str, Any]) -> Optional[str]:
+    ts = snapshot.get("timestamp")
+    return str(ts) if isinstance(ts, str) and ts else None
+
+
+def _ingest_bench_payload(
+    db: ExperimentDB, payload: Mapping[str, Any], *, label: str = ""
+) -> IngestStats:
+    stats = IngestStats()
+    history = payload.get("history")
+    if isinstance(history, Sequence):
+        for snap in history:
+            if isinstance(snap, Mapping):
+                stats.add(ingest_bench_snapshot(db, snap, label=label))
+    else:
+        stats.add(ingest_bench_snapshot(db, payload, label=label))
+    return stats
+
+
+# -- generic payload dispatch --------------------------------------------------
+
+
+def _looks_like_metrics_row(node: Mapping[str, Any]) -> bool:
+    return "success_rate" in node and isinstance(
+        node.get("success_rate"), (int, float)
+    )
+
+
+def _looks_like_ci_row(node: Mapping[str, Any]) -> bool:
+    metrics = node.get("metrics")
+    return (
+        "protocol" in node
+        and isinstance(metrics, Mapping)
+        and metrics
+        and all(
+            isinstance(v, Mapping) and "mean" in v for v in metrics.values()
+        )
+    )
+
+
+def _record_ci_row(db: ExperimentDB, run_id: int, row: Mapping[str, Any]) -> bool:
+    """Record a ``repro compare --seeds N`` confidence row (means + CIs)."""
+    identity = _jsonable(
+        {
+            "kind": "compare-ci",
+            "protocol": row.get("protocol"),
+            "trace": row.get("trace"),
+            "memory_kb": row.get("memory_kb"),
+            "rate": row.get("rate"),
+            "seeds": list(row.get("seeds") or []),
+        }
+    )
+    metrics = {
+        str(name): (float(ci["mean"]), float(ci.get("half_width") or 0.0) or None)
+        for name, ci in row["metrics"].items()
+        if isinstance(ci, Mapping) and isinstance(ci.get("mean"), (int, float))
+    }
+    if not metrics:
+        return False
+    _, new = db.record_point(
+        run_id,
+        identity,
+        metrics,
+        protocol=str(row.get("protocol", "?")),
+        trace=str(row.get("trace", "")),
+        memory_kb=row.get("memory_kb"),
+        rate=row.get("rate"),
+    )
+    return new
+
+
+def ingest_payload(
+    db: ExperimentDB, payload: Any, *, label: str = ""
+) -> IngestStats:
+    """Ingest any exported-JSON artifact; raises ValueError when nothing in
+    the payload is an ingestible result."""
+    if isinstance(payload, Mapping):
+        if payload.get("suite") == "benchmarks" or (
+            isinstance(payload.get("history"), Sequence)
+            and all(
+                isinstance(s, Mapping) and s.get("suite") == "benchmarks"
+                for s in payload["history"]
+            )
+            and payload.get("history")
+        ):
+            return _ingest_bench_payload(db, payload, label=label)
+        if isinstance(payload.get("degradation"), Mapping):
+            cfg = payload.get("config")
+            return _ingest_degradation_payload(
+                db, payload["degradation"],
+                config=cfg if isinstance(cfg, Mapping) else None, label=label,
+            )
+        if "curves" in payload and "intensities" in payload:
+            return _ingest_degradation_payload(db, payload, label=label)
+        if "series" in payload and "parameter" in payload:
+            return _ingest_sweep_payload(db, payload, label=label)
+
+    # generic: collect metric/CI rows anywhere in the structure
+    metric_rows: List[Mapping[str, Any]] = []
+    ci_rows: List[Mapping[str, Any]] = []
+
+    def walk(node: Any) -> None:
+        if isinstance(node, Mapping):
+            if _looks_like_metrics_row(node):
+                metric_rows.append(node)
+                return
+            if _looks_like_ci_row(node):
+                ci_rows.append(node)
+                return
+            for value in node.values():
+                walk(value)
+        elif isinstance(node, (list, tuple)):
+            for value in node:
+                walk(value)
+
+    walk(payload)
+    if not metric_rows and not ci_rows:
+        raise ValueError(
+            "no ingestible results found in payload (expected exported "
+            "metrics/sweep/resilience/benchmark JSON)"
+        )
+    stats = IngestStats()
+    run_id = db.record_run("ingest", label=label)
+    stats.runs += 1
+    for row in metric_rows:
+        recorded, new = _record_metrics_row(db, run_id, row)
+        if recorded:
+            stats.points_new += int(new)
+            stats.points_dup += int(not new)
+    for row in ci_rows:
+        new = _record_ci_row(db, run_id, row)
+        stats.points_new += int(new)
+        stats.points_dup += int(not new)
+    return stats

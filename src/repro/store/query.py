@@ -1,0 +1,132 @@
+"""Query layer over the experiment warehouse.
+
+Three access patterns the rest of the harness needs:
+
+* **filtered listing** — :func:`query_points` with any combination of
+  protocol / trace / scenario-hash (prefix) / metric / run-kind filters;
+* **latest-per-point resolution** — :func:`latest_per_point`: for every
+  distinct resolved scenario, the most recently recorded result (the
+  "current truth" a regression gate compares against a baseline);
+* **trend series** — :func:`trend_series`: one metric of one resolved
+  point (or a protocol/trace family) ordered by recording time — the
+  across-PRs trajectory ``repro db report`` renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.store.db import ExperimentDB, PointRow
+
+__all__ = ["PointFilter", "latest_per_point", "query_points", "trend_series"]
+
+
+@dataclass(frozen=True)
+class PointFilter:
+    """Declarative point filters; ``None`` fields are not applied."""
+
+    protocol: Optional[str] = None
+    trace: Optional[str] = None
+    #: full hash or an unambiguous hex prefix
+    scenario_hash: Optional[str] = None
+    #: restrict to points recorded by runs of this kind
+    kind: Optional[str] = None
+    run_id: Optional[int] = None
+    sweep_parameter: Optional[str] = None
+    seed: Optional[int] = None
+
+    def where(self) -> Tuple[str, List[Any]]:
+        clauses: List[str] = []
+        params: List[Any] = []
+        if self.protocol is not None:
+            clauses.append("protocol = ?")
+            params.append(self.protocol)
+        if self.trace is not None:
+            clauses.append("trace = ?")
+            params.append(self.trace)
+        if self.scenario_hash is not None:
+            clauses.append("scenario_hash LIKE ?")
+            params.append(self.scenario_hash + "%")
+        if self.run_id is not None:
+            clauses.append("run_id = ?")
+            params.append(self.run_id)
+        if self.sweep_parameter is not None:
+            clauses.append("sweep_parameter = ?")
+            params.append(self.sweep_parameter)
+        if self.seed is not None:
+            clauses.append("seed = ?")
+            params.append(self.seed)
+        if self.kind is not None:
+            clauses.append("run_id IN (SELECT id FROM runs WHERE kind = ?)")
+            params.append(self.kind)
+        where = ("WHERE " + " AND ".join(clauses)) if clauses else ""
+        return where, params
+
+
+def query_points(
+    db: ExperimentDB,
+    *,
+    filter: Optional[PointFilter] = None,
+    metric: Optional[str] = None,
+    **filter_kwargs: Any,
+) -> List[PointRow]:
+    """Stored points matching the filter, oldest first.
+
+    ``metric`` keeps only points that recorded that metric (the metric
+    values themselves always ride along on the returned rows).  Filter
+    fields can be given as keyword arguments instead of a
+    :class:`PointFilter`.
+    """
+    if filter is None:
+        filter = PointFilter(**filter_kwargs)
+    elif filter_kwargs:
+        raise ValueError("give either a PointFilter or keyword filters, not both")
+    where, params = filter.where()
+    rows = db._point_rows(where, params)
+    if metric is not None:
+        rows = [r for r in rows if metric in r.metrics]
+    return rows
+
+
+def latest_per_point(
+    db: ExperimentDB,
+    *,
+    filter: Optional[PointFilter] = None,
+    **filter_kwargs: Any,
+) -> List[PointRow]:
+    """The most recent recording of every distinct resolved scenario.
+
+    Rows come back in first-recorded order of their scenario (stable across
+    re-recordings), each carrying its latest metric values.
+    """
+    rows = query_points(db, filter=filter, **filter_kwargs)
+    latest: Dict[str, PointRow] = {}
+    order: List[str] = []
+    for row in rows:  # rows are (recorded_at, id)-ordered; last write wins
+        if row.scenario_hash not in latest:
+            order.append(row.scenario_hash)
+        latest[row.scenario_hash] = row
+    return [latest[h] for h in order]
+
+
+def trend_series(
+    db: ExperimentDB,
+    metric: str,
+    *,
+    filter: Optional[PointFilter] = None,
+    **filter_kwargs: Any,
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Time-ordered ``(recorded_at, value)`` series of one metric.
+
+    Keyed by scenario hash: each distinct resolved point contributes one
+    series tracing how its metric moved across recordings (re-recorded
+    identical results are deduplicated at ingest, so a flat history shows a
+    single entry).
+    """
+    out: Dict[str, List[Tuple[str, float]]] = {}
+    for row in query_points(db, filter=filter, metric=metric, **filter_kwargs):
+        out.setdefault(row.scenario_hash, []).append(
+            (row.recorded_at, row.metrics[metric])
+        )
+    return out

@@ -45,11 +45,18 @@ def five_number_summary(values: Iterable[float]) -> FiveNumberSummary:
     Raises
     ------
     ValueError
-        If ``values`` is empty.
+        If ``values`` is empty or contains NaN.  (NaN would otherwise
+        propagate silently through every statistic via numpy warnings.)
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarise an empty sample")
+    if np.isnan(arr).any():
+        n_bad = int(np.isnan(arr).sum())
+        raise ValueError(
+            f"cannot summarise a sample containing NaN "
+            f"({n_bad} of {arr.size} values)"
+        )
     if arr.size == 1:
         # degenerate sample (e.g. a short traced run delivering one packet):
         # every statistic collapses to the single value, and skipping the

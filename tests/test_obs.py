@@ -202,6 +202,52 @@ class TestProvenance:
         assert "repr" in opaque.config
 
 
+class TestJsonableDeterminism:
+    """_jsonable must be deterministic: the experiment store content-hashes
+    its output, so equal inputs must always encode identically."""
+
+    def test_sets_are_sorted(self):
+        from repro.obs.provenance import _jsonable
+
+        a = _jsonable({"s": {3, 1, 2}})
+        b = _jsonable({"s": {2, 3, 1}})
+        assert a == b == {"s": [1, 2, 3]}
+
+    def test_mixed_type_sets_are_stable(self):
+        from repro.obs.provenance import _jsonable
+
+        a = _jsonable(frozenset(["b", 1, "a"]))
+        b = _jsonable(frozenset(["a", "b", 1]))
+        assert a == b
+        assert json.dumps(a) == json.dumps(b)
+
+    def test_tuples_and_paths_coerce(self):
+        from pathlib import Path
+
+        from repro.obs.provenance import _jsonable
+
+        out = _jsonable({"t": (1, 2), "p": Path("/tmp/x.csv")})
+        assert out == {"t": [1, 2], "p": "/tmp/x.csv"}
+        json.dumps(out)
+
+    def test_numpy_scalars_collapse_to_plain_types(self):
+        import numpy as np
+
+        from repro.obs.provenance import _jsonable
+
+        out = _jsonable({"f": np.float64(1.5), "i": np.int32(7),
+                         "b": np.bool_(True)})
+        assert out == {"f": 1.5, "i": 7, "b": True}
+        assert type(out["f"]) is float and type(out["i"]) is int
+
+    def test_hash_stability_across_orderings(self):
+        from repro.store import content_hash
+
+        a = {"seeds": {5, 1}, "sim": {"x": 1, "y": (2, 3)}}
+        b = {"sim": {"y": (2, 3), "x": 1}, "seeds": {1, 5}}
+        assert content_hash(a) == content_hash(b)
+
+
 class TestObservability:
     def test_default_is_disabled(self):
         obs = Observability()

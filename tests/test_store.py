@@ -1,0 +1,580 @@
+"""Tests for the persistent experiment store (repro.store).
+
+Covers the warehouse core (schema, WAL, content-hash dedup), every ingest
+path and the identity consistency between live ``--record`` ingestion and
+re-ingesting exported artifacts, the query layer, baseline pin/export/
+import round trips, the tolerance-band regression gate (PASS on unchanged
+reruns, FAIL on injected perturbations, IMPROVED direction, CI widening),
+the trend report, and the ``repro db`` / ``--record`` CLI surface —
+including a ``--jobs 4`` sweep recorded in the parent process.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.eval.resilience import degradation_curves
+from repro.eval.scenario import ScenarioSpec, run_scenario
+from repro.store import (
+    ExperimentDB,
+    PointFilter,
+    Tolerance,
+    compare_points,
+    content_hash,
+    export_baseline,
+    import_baseline,
+    ingest_degradation,
+    ingest_payload,
+    ingest_scenario_result,
+    ingest_sweep_result,
+    latest_per_point,
+    pin_baseline,
+    query_points,
+    regress,
+    render_markdown,
+    trend_report,
+    trend_series,
+)
+from repro.store.db import SCHEMA_VERSION
+
+
+SCENARIO = {
+    "trace": {"profile": "DART", "seed": 1},
+    "sim": {"node_memory_kb": 2000.0, "rate_per_landmark_per_day": 100.0},
+    "protocol": {"name": "DTN-FLOW", "config": {}},
+    "seeds": [1],
+}
+
+METRICS = {
+    "success_rate": 0.8,
+    "avg_delay": 3600.0,
+    "avg_hops": 2.5,
+    "generated": 100.0,
+    "delivered": 80.0,
+    "total_cost": 500.0,
+}
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ExperimentDB(tmp_path / "exp.sqlite") as db:
+        yield db
+
+
+def record(db, metrics=METRICS, scenario=SCENARIO, protocol="DTN-FLOW", **kw):
+    run_id = db.record_run("run", label="test")
+    return db.record_point(
+        run_id, scenario, metrics, protocol=protocol, trace="DART", **kw
+    )
+
+
+class TestWarehouse:
+    def test_schema_and_wal(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(ValueError, match="newer than"):
+            ExperimentDB(path)
+
+    def test_reopen_is_idempotent(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        with ExperimentDB(path) as db:
+            record(db)
+        with ExperimentDB(path) as db:
+            assert db.point_count() == 1
+
+    def test_identical_rerecord_is_noop(self, store):
+        pid1, new1 = record(store)
+        pid2, new2 = record(store)
+        assert new1 and not new2
+        assert pid1 == pid2
+        assert store.point_count() == 1
+
+    def test_changed_metrics_record_history(self, store):
+        record(store)
+        pid2, new2 = record(store, dict(METRICS, success_rate=0.85))
+        assert new2
+        assert store.point_count() == 2
+        rows = query_points(store)
+        assert len({r.scenario_hash for r in rows}) == 1
+        latest = latest_per_point(store)
+        assert len(latest) == 1
+        assert latest[0].metrics["success_rate"] == 0.85
+
+    def test_content_hash_ignores_key_order(self):
+        a = {"x": 1, "y": [1, 2], "z": {"a": 1, "b": 2}}
+        b = {"z": {"b": 2, "a": 1}, "y": [1, 2], "x": 1}
+        assert content_hash(a) == content_hash(b)
+        assert content_hash(a) != content_hash({**a, "x": 2})
+
+    def test_half_widths_round_trip(self, store):
+        record(store, {"success_rate": (0.8, 0.03), "avg_delay": 3600.0})
+        row = query_points(store)[0]
+        assert row.half_widths == {"success_rate": 0.03}
+        assert row.metrics["avg_delay"] == 3600.0
+
+    def test_empty_metrics_rejected(self, store):
+        run_id = store.record_run("run")
+        with pytest.raises(ValueError, match="no metrics"):
+            store.record_point(run_id, SCENARIO, {}, protocol="DTN-FLOW")
+
+    def test_run_hash_dedup(self, store):
+        h = content_hash({"snapshot": 1})
+        assert store.record_run("bench", run_hash=h) is not None
+        assert store.record_run("bench", run_hash=h) is None
+
+    def test_scenario_blob_stored(self, store):
+        pid, _ = record(store)
+        assert store.scenario_blob(pid) == SCENARIO
+
+
+class TestQuery:
+    def _populate(self, db):
+        for protocol, rate in [("DTN-FLOW", 100.0), ("PROPHET", 100.0),
+                               ("DTN-FLOW", 300.0)]:
+            scen = dict(SCENARIO, protocol={"name": protocol, "config": {}})
+            scen["sim"] = dict(SCENARIO["sim"],
+                               rate_per_landmark_per_day=rate)
+            record(db, scenario=scen, protocol=protocol, rate=rate,
+                   sweep_parameter="rate", sweep_value=rate)
+
+    def test_filters(self, store):
+        self._populate(store)
+        assert len(query_points(store)) == 3
+        assert len(query_points(store, protocol="DTN-FLOW")) == 2
+        assert len(query_points(store, protocol="PROPHET", trace="DART")) == 1
+        assert query_points(store, trace="DNET") == []
+        some_hash = query_points(store)[0].scenario_hash
+        assert len(query_points(store, scenario_hash=some_hash[:10])) == 1
+        assert len(query_points(store, kind="run")) == 3
+        assert query_points(store, kind="sweep") == []
+
+    def test_filter_and_kwargs_are_exclusive(self, store):
+        with pytest.raises(ValueError, match="not both"):
+            query_points(store, filter=PointFilter(), protocol="DTN-FLOW")
+
+    def test_metric_filter(self, store):
+        record(store, {"success_rate": 0.5})
+        scen2 = dict(SCENARIO, seeds=[2])
+        record(store, {"suite_seconds": 1.0}, scenario=scen2)
+        assert len(query_points(store)) == 2
+        assert len(query_points(store, metric="success_rate")) == 1
+
+    def test_trend_series_is_time_ordered(self, store):
+        for rate in (0.8, 0.7, 0.9):
+            record(store, dict(METRICS, success_rate=rate))
+        series = trend_series(store, "success_rate")
+        assert len(series) == 1
+        values = [v for _, v in next(iter(series.values()))]
+        assert values == [0.8, 0.7, 0.9]
+
+
+@pytest.fixture(scope="module")
+def fast_result():
+    """One real (tiny) scenario run shared by the ingestion tests."""
+    spec = ScenarioSpec.from_dict({
+        "name": "store-test",
+        "trace": {"profile": "DART", "seed": 1},
+        "sim": {"memory_kb": 2000, "rate": 100, "workload_scale": 0.004},
+        "protocols": ["DTN-FLOW", "Direct"],
+        "seeds": [1],
+    })
+    return run_scenario(spec, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def fast_sweep_result():
+    """A tiny sweep run through the parallel executor (4 workers)."""
+    spec = ScenarioSpec.from_dict({
+        "name": "store-sweep",
+        "trace": {"profile": "DART", "seed": 1},
+        "sim": {"rate": 100, "workload_scale": 0.004},
+        "protocols": ["DTN-FLOW"],
+        "seeds": [1],
+        "sweep": {"parameter": "memory_kb", "values": [1200, 2000]},
+    })
+    return run_scenario(spec, jobs=4)
+
+
+class TestIngest:
+    def test_scenario_result_round_trip(self, store, fast_result):
+        stats = ingest_scenario_result(store, fast_result)
+        assert stats.points_new == 2 and stats.points_dup == 0
+        again = ingest_scenario_result(store, fast_result)
+        assert again.points_new == 0 and again.points_dup == 2
+        protocols = {r.protocol for r in query_points(store)}
+        assert protocols == {"DTN-FLOW", "Direct"}
+        row = query_points(store, protocol="DTN-FLOW")[0]
+        assert row.memory_kb == 2000.0 and row.rate == 100.0 and row.seed == 1
+
+    def test_parallel_sweep_recorded_in_parent(self, store, fast_sweep_result):
+        # the acceptance path: a --jobs 4 run recorded without contention
+        # (workers never see the database; ingestion is parent-side)
+        stats = ingest_scenario_result(store, fast_sweep_result)
+        assert stats.points_new == 2
+        rows = query_points(store, sweep_parameter="memory_kb")
+        assert sorted(r.sweep_value for r in rows) == [1200.0, 2000.0]
+
+    def test_sweep_object_and_payload_agree(self, store, fast_sweep_result):
+        sweep = fast_sweep_result.sweep_result()
+        stats = ingest_sweep_result(store, sweep)
+        assert stats.points_new == 2
+        # the exported-JSON form of the same sweep deduplicates exactly
+        again = ingest_payload(store, json.loads(json.dumps(sweep.as_dict())))
+        assert again.points_new == 0 and again.points_dup == 2
+
+    def test_exported_scenario_payload_dedups_against_object(
+        self, store, fast_result
+    ):
+        ingest_scenario_result(store, fast_result)
+        payload = json.loads(json.dumps(fast_result.as_dict()))
+        stats = ingest_payload(store, payload)
+        assert stats.points_new == 0 and stats.points_dup == 2
+
+    def test_compare_ci_rows(self, store):
+        rows = [{
+            "protocol": "DTN-FLOW",
+            "trace": "DART",
+            "memory_kb": 2000.0,
+            "rate": 500.0,
+            "seeds": [1, 2, 3],
+            "metrics": {
+                "success_rate": {"mean": 0.8, "half_width": 0.02,
+                                 "n": 3, "level": 0.95},
+                "avg_delay": {"mean": 3600.0, "half_width": 120.0,
+                              "n": 3, "level": 0.95},
+            },
+        }]
+        stats = ingest_payload(store, rows)
+        assert stats.points_new == 1
+        row = query_points(store)[0]
+        assert row.half_widths["success_rate"] == 0.02
+        assert ingest_payload(store, rows).points_dup == 1
+
+    def test_degradation_object_and_payload_agree(self, store, dart_tiny):
+        from repro.mobility.trace import days
+        from repro.sim.engine import SimConfig
+
+        cfg = SimConfig(ttl=days(5.0), rate_per_landmark_per_day=200.0,
+                        workload_scale=0.02, time_unit=days(2.0), seed=5,
+                        contact_prob=0.3)
+        curves = degradation_curves(
+            dart_tiny, protocols=("DTN-FLOW",), intensities=(0.0, 0.75),
+            config=cfg, fault_seed=7,
+        )
+        import dataclasses
+        cfg_dict = dataclasses.asdict(cfg)
+        stats = ingest_degradation(store, curves, config=cfg_dict)
+        assert stats.points_new == 2
+        # `repro resilience --out` artifacts carry the config alongside the
+        # curves so file ingestion lands on the same point identities
+        payload = json.loads(json.dumps(
+            {"degradation": curves.as_dict(), "config": cfg_dict}
+        ))
+        again = ingest_payload(store, payload)
+        assert again.points_new == 0 and again.points_dup == 2
+        rows = query_points(store, sweep_parameter="intensity")
+        assert sorted(r.sweep_value for r in rows) == [0.0, 0.75]
+
+    def test_bench_snapshot_dedup(self, store):
+        snapshot = {
+            "suite": "benchmarks",
+            "timestamp": "2026-08-07T00:00:00+0000",
+            "suite_seconds": 12.5,
+            "figures": {"test_fig11": 7.25},
+            "parallel": {"speedup": 1.9},
+        }
+        assert ingest_payload(store, snapshot).runs == 1
+        assert ingest_payload(store, snapshot).runs == 0
+        history = {"suite": "benchmarks", "history": [snapshot]}
+        assert ingest_payload(store, history).runs == 0
+        runs = store.runs(kind="bench")
+        assert len(runs) == 1
+        values = store.run_metric_rows(runs[0]["id"])
+        assert values["suite_seconds"] == 12.5
+        assert values["figures.test_fig11"] == 7.25
+        assert values["parallel.speedup"] == 1.9
+
+    def test_unrecognized_payload_rejected(self, store):
+        with pytest.raises(ValueError, match="no ingestible results"):
+            ingest_payload(store, {"hello": "world"})
+
+
+class TestBaselinesAndRegress:
+    def test_pin_requires_points(self, store):
+        with pytest.raises(ValueError, match="no stored points"):
+            pin_baseline(store, "main")
+
+    def test_pin_and_replace(self, store):
+        record(store)
+        assert pin_baseline(store, "main") == 1
+        with pytest.raises(ValueError, match="already exists"):
+            pin_baseline(store, "main")
+        assert pin_baseline(store, "main", replace=True) == 1
+        assert store.baseline_names() == ["main"]
+
+    def test_unchanged_rerun_passes(self, store):
+        record(store)
+        pin_baseline(store, "main")
+        record(store)  # identical re-record (deduped)
+        verdict = regress(store, baseline="main")
+        assert verdict.passed and verdict.verdict == "PASS"
+        assert len(verdict.checks) == len(METRICS)
+        assert not verdict.failures and not verdict.missing
+
+    def test_perturbation_beyond_tolerance_fails(self, store):
+        record(store)
+        pin_baseline(store, "main")
+        # success_rate tolerance is ±0.02 absolute; -0.15 must FAIL
+        record(store, dict(METRICS, success_rate=0.65))
+        verdict = regress(store, baseline="main")
+        assert verdict.verdict == "FAIL"
+        assert [c.metric for c in verdict.failures] == ["success_rate"]
+        check = verdict.failures[0]
+        assert check.baseline == 0.8 and check.candidate == 0.65
+        assert "FAIL" in verdict.summary()
+
+    def test_directional_improvement_is_not_failure(self, store):
+        record(store)
+        pin_baseline(store, "main")
+        # higher success + lower delay: both beyond band, both improvements
+        record(store, dict(METRICS, success_rate=0.95, avg_delay=1800.0))
+        verdict = regress(store, baseline="main")
+        assert verdict.passed
+        improved = {c.metric for c in verdict.improvements}
+        assert improved == {"success_rate", "avg_delay"}
+
+    def test_two_sided_metric_fails_both_ways(self, store):
+        record(store)
+        pin_baseline(store, "main")
+        record(store, dict(METRICS, generated=110.0))  # exact-match metric
+        verdict = regress(store, baseline="main")
+        assert [c.metric for c in verdict.failures] == ["generated"]
+
+    def test_confidence_intervals_widen_the_band(self, store):
+        record(store, {"success_rate": (0.8, 0.1)})
+        pin_baseline(store, "main")
+        record(store, {"success_rate": (0.7, 0.05)})
+        # |delta| = 0.10 <= 0.02 + 0.1 + 0.05: inside overlapping CIs
+        verdict = regress(store, baseline="main")
+        assert verdict.passed
+
+    def test_uniform_tolerance_replaces_defaults(self, store):
+        record(store)
+        pin_baseline(store, "main")
+        record(store, dict(METRICS, success_rate=0.75))
+        assert regress(store, baseline="main").verdict == "FAIL"
+        loose = regress(store, baseline="main",
+                        uniform=Tolerance(abs_tol=0.2, rel_tol=0.2))
+        assert loose.passed
+
+    def test_missing_candidate(self, store):
+        record(store)
+        pin_baseline(store, "main")
+        verdict = compare_points(
+            "main", store.baseline_rows("main"), [], fail_on_missing=True
+        )
+        assert verdict.verdict == "FAIL" and len(verdict.missing) == len(METRICS)
+        lenient = compare_points("main", store.baseline_rows("main"), [])
+        assert lenient.passed
+
+    def test_snapshot_export_import_round_trip(self, store, tmp_path):
+        record(store)
+        pin_baseline(store, "main", note="seed baseline")
+        snapshot = json.loads(json.dumps(export_baseline(store, "main")))
+        with ExperimentDB(tmp_path / "other.sqlite") as db2:
+            name, count = import_baseline(db2, snapshot)
+            assert name == "main" and count == len(METRICS)
+            record(db2)
+            assert regress(db2, baseline="main").passed
+
+    def test_regress_needs_exactly_one_baseline(self, store):
+        record(store)
+        with pytest.raises(ValueError, match="exactly one"):
+            regress(store)
+        with pytest.raises(ValueError, match="exactly one"):
+            regress(store, baseline="a", baseline_rows=[])
+
+    def test_unknown_baseline(self, store):
+        record(store)
+        with pytest.raises(ValueError, match="unknown baseline"):
+            regress(store, baseline="nope")
+
+
+class TestReport:
+    def test_trend_report_and_markdown(self, store):
+        record(store, sweep_parameter="memory_kb", sweep_value=2000.0)
+        record(store, dict(METRICS, success_rate=0.9),
+               sweep_parameter="memory_kb", sweep_value=2000.0)
+        store.record_run_metrics(
+            store.record_run("bench", run_hash=content_hash({"b": 1})),
+            {"suite_seconds": 10.0},
+        )
+        report = trend_report(store)
+        assert report["points"] == 2 and report["distinct_points"] == 1
+        assert report["runs"]["bench"] == 1
+        fam = report["figures"]["DART/memory_kb"]
+        assert fam["protocols"]["DTN-FLOW"]["success_rate"] == 0.9
+        assert len(report["changed_points"]) == 1
+        moved = report["changed_points"][0]["moved_metrics"]["success_rate"]
+        assert moved == {"first": 0.8, "last": 0.9}
+        md = render_markdown(report)
+        assert "fig11 (DART, memory)" in md
+        assert "suite_seconds" in md and "10.000" in md
+
+
+class TestStoreCLI:
+    def _run(self, argv, capsys):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def _seed_store(self, db_path):
+        with ExperimentDB(db_path) as db:
+            record(db)
+
+    def test_query_empty(self, tmp_path, capsys):
+        rc, out, _ = self._run(["db", "query", "--db",
+                                str(tmp_path / "x.sqlite")], capsys)
+        assert rc == 0 and "no stored points" in out
+
+    def test_query_table_and_json(self, tmp_path, capsys):
+        db_path = str(tmp_path / "x.sqlite")
+        self._seed_store(db_path)
+        rc, out, _ = self._run(["db", "query", "--db", db_path], capsys)
+        assert rc == 0 and "DTN-FLOW" in out
+        rc, out, _ = self._run(
+            ["db", "query", "--db", db_path, "--json", "--metric",
+             "success_rate"], capsys)
+        rows = json.loads(out)
+        assert rc == 0 and rows[0]["metrics"]["success_rate"] == 0.8
+
+    def test_ingest_file_and_errors(self, tmp_path, capsys):
+        db_path = str(tmp_path / "x.sqlite")
+        artifact = tmp_path / "rows.json"
+        artifact.write_text(json.dumps([{
+            "protocol": "PER", "trace": "DART", "memory_kb": 2000.0,
+            "rate": 500.0, "seeds": [1, 2],
+            "metrics": {"success_rate": {"mean": 0.5, "half_width": 0.01}},
+        }]))
+        rc, out, _ = self._run(
+            ["db", "ingest", str(artifact), "--db", db_path], capsys)
+        assert rc == 0 and "1 new" in out
+        rc, _, err = self._run(
+            ["db", "ingest", str(tmp_path / "missing.json"), "--db", db_path],
+            capsys)
+        assert rc == 2 and "cannot read" in err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc, _, err = self._run(
+            ["db", "ingest", str(bad), "--db", db_path], capsys)
+        assert rc == 2 and "no ingestible" in err
+
+    def test_baseline_verbs_and_regress_exit_codes(self, tmp_path, capsys):
+        db_path = str(tmp_path / "x.sqlite")
+        self._seed_store(db_path)
+        rc, out, _ = self._run(
+            ["db", "baseline", "pin", "main", "--db", db_path], capsys)
+        assert rc == 0 and "pinned" in out
+        rc, out, _ = self._run(["db", "baseline", "list", "--db", db_path],
+                               capsys)
+        assert rc == 0 and "main" in out
+        rc, out, _ = self._run(
+            ["db", "baseline", "show", "main", "--db", db_path], capsys)
+        assert rc == 0 and "success_rate" in out
+
+        # PASS on the unchanged store -> exit 0
+        verdict_file = tmp_path / "verdict.json"
+        rc, out, _ = self._run(
+            ["db", "regress", "--baseline", "main", "--db", db_path,
+             "--out", str(verdict_file)], capsys)
+        assert rc == 0 and "PASS" in out
+        assert json.loads(verdict_file.read_text())["verdict"] == "PASS"
+
+        # inject a perturbation beyond tolerance -> exit 1, FAIL artifact
+        with ExperimentDB(db_path) as db:
+            record(db, dict(METRICS, success_rate=0.5))
+        rc, out, _ = self._run(
+            ["db", "regress", "--baseline", "main", "--db", db_path,
+             "--json", "--out", str(verdict_file)], capsys)
+        assert rc == 1
+        verdict = json.loads(verdict_file.read_text())
+        assert verdict["verdict"] == "FAIL" and verdict["failed"] == 1
+        assert json.loads(out)["verdict"] == "FAIL"
+
+        # snapshot file round trip through the CLI
+        snap = tmp_path / "main.json"
+        rc, _, _ = self._run(
+            ["db", "baseline", "export", "main", str(snap), "--db", db_path],
+            capsys)
+        assert rc == 0
+        rc, out, _ = self._run(
+            ["db", "regress", "--baseline-file", str(snap), "--db", db_path],
+            capsys)
+        assert rc == 1  # latest point still carries the perturbation
+
+        # usage errors -> exit 2
+        rc, _, err = self._run(["db", "regress", "--db", db_path], capsys)
+        assert rc == 2 and "exactly one" in err
+        rc, _, err = self._run(
+            ["db", "regress", "--baseline", "nope", "--db", db_path], capsys)
+        assert rc == 2 and "unknown baseline" in err
+        rc, _, err = self._run(
+            ["db", "baseline", "pin", "--db", db_path], capsys)
+        assert rc == 2 and "usage" in err
+
+    def test_baseline_import_rename(self, tmp_path, capsys):
+        db_path = str(tmp_path / "x.sqlite")
+        self._seed_store(db_path)
+        self._run(["db", "baseline", "pin", "main", "--db", db_path], capsys)
+        snap = tmp_path / "main.json"
+        self._run(["db", "baseline", "export", "main", str(snap),
+                   "--db", db_path], capsys)
+        rc, out, _ = self._run(
+            ["db", "baseline", "import", str(snap), "--name", "seed",
+             "--db", db_path], capsys)
+        assert rc == 0 and "seed" in out
+        with ExperimentDB(db_path) as db:
+            assert db.baseline_names() == ["main", "seed"]
+
+    def test_report_cli(self, tmp_path, capsys):
+        db_path = str(tmp_path / "x.sqlite")
+        self._seed_store(db_path)
+        rc, out, _ = self._run(["db", "report", "--db", db_path], capsys)
+        assert rc == 0 and "Experiment store trend report" in out
+        out_file = tmp_path / "report.json"
+        rc, _, _ = self._run(
+            ["db", "report", "--db", db_path, "--json", "--out",
+             str(out_file)], capsys)
+        assert rc == 0
+        assert json.loads(out_file.read_text())["points"] == 1
+
+    def test_record_flag_via_scenario_run(self, tmp_path, capsys):
+        manifest = tmp_path / "fast.json"
+        manifest.write_text(json.dumps({
+            "name": "cli-record",
+            "trace": {"profile": "DART", "seed": 1},
+            "sim": {"memory_kb": 2000, "rate": 100, "workload_scale": 0.004},
+            "protocols": ["DTN-FLOW"],
+            "seeds": [1],
+        }))
+        db_path = str(tmp_path / "rec.sqlite")
+        rc, _, err = self._run(
+            ["run", "--scenario", str(manifest), "--record", "--db", db_path],
+            capsys)
+        assert rc == 0 and "recorded" in err and "1 new" in err
+        # recording the identical run again stores nothing new
+        rc, _, err = self._run(
+            ["run", "--scenario", str(manifest), "--record", "--db", db_path],
+            capsys)
+        assert rc == 0 and "0 new, 1 already recorded" in err
+        with ExperimentDB(db_path) as db:
+            assert db.point_count() == 1

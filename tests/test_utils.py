@@ -100,8 +100,26 @@ class TestFiveNumberSummary:
         assert s.q3 == 4
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="empty sample"):
             five_number_summary([])
+
+    def test_empty_generator_raises(self):
+        with pytest.raises(ValueError, match="empty sample"):
+            five_number_summary(x for x in ())
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            five_number_summary([1.0, float("nan"), 3.0])
+
+    def test_all_nan_raises_with_count(self):
+        with pytest.raises(ValueError, match="2 of 2"):
+            five_number_summary([float("nan"), float("nan")])
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_infinities_are_still_summarised(self):
+        # only NaN is rejected; infinities propagate as ordinary floats
+        s = five_number_summary([1.0, float("inf")])
+        assert s.maximum == float("inf")
 
     def test_str_contains_fields(self):
         s = five_number_summary([1.0, 2.0])
