@@ -61,10 +61,12 @@ from repro.eval.scenario import (
     rerun_scenario,
     run_scenario,
 )
+from repro.eval.profiling import profile_scenario
 from repro.eval.sweeps import memory_sweep, rate_sweep
 from repro.mobility import io as trace_io
 from repro.mobility import stats
 from repro.obs import ALL_EVENTS, Observability
+from repro.obs.export import render_span_tree, write_flamegraph, write_profile
 from repro.obs.provenance import _jsonable
 from repro.store import (
     ExperimentDB,
@@ -77,6 +79,7 @@ from repro.store import (
     ingest_degradation,
     ingest_experiment_results,
     ingest_payload,
+    ingest_profile,
     ingest_scenario_result,
     ingest_sweep_result,
     latest_per_point,
@@ -322,11 +325,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_phase_rows(rows) -> List[list]:
+    """Format ``(phase, seconds, calls)`` float rows for table printing."""
+    return [[name, f"{seconds:.4f}", calls] for name, seconds, calls in rows]
+
+
 def _print_sweep_result(result) -> None:
     for metric in ("success_rate", "avg_delay", "forwarding_cost", "total_cost"):
         print(result.metric_table(metric))
         print()
-    timing_rows = [list(r) for r in result.phase_rows()]
+    timing_rows = _format_phase_rows(result.phase_rows())
     if timing_rows:
         print(format_table(
             ["phase", "seconds", "calls"], timing_rows,
@@ -334,8 +342,39 @@ def _print_sweep_result(result) -> None:
         ))
 
 
+def _progress_printer(total: int):
+    """A sweep ``progress`` callback printing completion + ETA to stderr.
+
+    Deduplicates on point index (pool retries re-emit ``finished`` for the
+    same point) and ignores ``started`` records — one line per completed
+    point keeps a 30-point sweep readable.
+    """
+    from time import perf_counter
+
+    state = {"done": set(), "t0": perf_counter()}
+
+    def on_event(event) -> None:
+        if event.kind != "finished" or event.index in state["done"]:
+            return
+        state["done"].add(event.index)
+        n = len(state["done"])
+        elapsed = perf_counter() - state["t0"]
+        eta = elapsed / n * (total - n) if n else 0.0
+        took = f" in {event.seconds:.1f}s" if event.seconds is not None else ""
+        print(
+            f"[{n}/{total}] {event.protocol} memory={event.memory_kb:g} "
+            f"rate={event.rate:g} seed={event.seed} done{took} — "
+            f"elapsed {elapsed:.0f}s, eta {eta:.0f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return on_event
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     jobs = parse_jobs(args.jobs)
+    progress = None
     if args.scenario:
         spec = _load_scenario_arg(args.scenario)
         if spec.sweep is None:
@@ -353,7 +392,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        res = run_scenario(spec, jobs=jobs)
+        if args.progress:
+            progress = _progress_printer(spec.n_points())
+        res = run_scenario(spec, jobs=jobs, progress=progress)
         _maybe_record(args, ingest_scenario_result, res, kind="sweep")
         _print_sweep_result(res.sweep_result())
         return 0
@@ -366,15 +407,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.parameter == "memory":
         values = [float(v) for v in (args.values.split(",") if args.values else
                                      ["1200", "1600", "2000", "2400", "3000"])]
+        if args.progress:
+            progress = _progress_printer(len(values) * len(protocols))
         result = memory_sweep(trace, profile, memories_kb=values,
                               rate=args.rate, protocols=protocols, seed=args.seed,
-                              jobs=jobs, trace_spec=tspec)
+                              jobs=jobs, trace_spec=tspec, progress=progress)
     else:
         values = [float(v) for v in (args.values.split(",") if args.values else
                                      ["100", "300", "500", "700", "1000"])]
+        if args.progress:
+            progress = _progress_printer(len(values) * len(protocols))
         result = rate_sweep(trace, profile, rates=values,
                             memory_kb=args.memory, protocols=protocols, seed=args.seed,
-                            jobs=jobs, trace_spec=tspec)
+                            jobs=jobs, trace_spec=tspec, progress=progress)
     _maybe_record(
         args, ingest_sweep_result, result,
         label=f"{trace.name}:{args.parameter}",
@@ -685,9 +730,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(format_table(
         ["phase", "seconds", "calls"],
-        [list(r) for r in obs.profiler.rows()],
+        _format_phase_rows(obs.profiler.rows()),
         title="phase timings (wall-clock):",
     ))
+    print()
+    ev = obs.events
+    evicted = f", {ev.n_evicted} evicted" if ev.n_evicted else ""
+    print(f"event log: {len(ev)} recorded of {ev.n_emitted} emitted "
+          f"(ring capacity {ev.capacity}{evicted})")
     print()
     all_rows = [list(r) for r in obs.registry.rows()]
     if args.full:
@@ -708,6 +758,68 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if prov is not None:
         print(f"\nprovenance: repro {prov.package_version}, python {prov.python_version}, "
               f"seed {prov.seed}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    spec = _load_scenario_arg(args.scenario)
+    run = profile_scenario(
+        spec,
+        hz=args.hz,
+        sample=not args.no_sampler,
+        allocations=args.allocations,
+        label=args.label,
+    )
+    payload = run.payload()
+    tree = payload["span_tree"]
+
+    print(render_span_tree(tree, max_rows=args.max_spans))
+    print()
+    print(format_table(
+        ["phase", "seconds", "calls"],
+        [[name, f"{rec['seconds']:.4f}", int(rec["calls"])]
+         for name, rec in run.phases().items()],
+        title="per-phase totals (merged over all points):",
+    ))
+
+    root_seconds = float(tree.get("seconds") or 0.0)
+    drift = (
+        abs(root_seconds - run.wall_seconds) / run.wall_seconds * 100
+        if run.wall_seconds
+        else 0.0
+    )
+    print(
+        f"\nwall {run.wall_seconds:.4f}s, root span {root_seconds:.4f}s "
+        f"(drift {drift:.2f}%) over {len(run.points)} point(s)"
+    )
+    if run.sampler is not None:
+        print(
+            f"sampler: {run.sampler.n_samples} stacks at {run.sampler.hz:g} Hz, "
+            f"{len(run.sampler.samples)} unique"
+        )
+        for site in payload["allocations"][:10]:
+            print(
+                f"  alloc {site['site']}: {site['size_kb']:.1f} KiB "
+                f"in {site['count']} block(s)"
+            )
+
+    if args.flamegraph:
+        if run.sampler is None:
+            print("--flamegraph needs the sampler; drop --no-sampler",
+                  file=sys.stderr)
+            return 2
+        n = write_flamegraph(run.sampler.samples, args.flamegraph)
+        print(f"flamegraph: {n} collapsed stacks -> {args.flamegraph}")
+    if args.span_tree:
+        with open(args.span_tree, "w", encoding="utf-8") as fh:
+            json.dump(tree, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"span tree -> {args.span_tree}")
+    if args.out:
+        write_profile(payload, args.out)
+        print(f"profile payload -> {args.out}")
+
+    _maybe_record(args, ingest_profile, payload, label=run.label)
     return 0
 
 
@@ -1043,7 +1155,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(p)
     add_scenario_opt(p)
     add_record(p)
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-point completion + ETA to stderr")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="deep-profile a scenario: span tree, sampler, flamegraph",
+        description="Run every point of a scenario serially under one span "
+                    "recorder and (by default) a sampling profiler; print "
+                    "the span tree and per-phase totals, optionally export "
+                    "a collapsed-stack flamegraph and an ingestible profile "
+                    "payload (see docs/observability.md).",
+    )
+    p.add_argument("scenario", help="scenario JSON file or preset name")
+    p.add_argument("--hz", type=float, default=97.0,
+                   help="sampling frequency (default 97 Hz)")
+    p.add_argument("--no-sampler", action="store_true",
+                   help="span tree only; skip stack sampling")
+    p.add_argument("--allocations", action="store_true",
+                   help="also snapshot allocation sites (tracemalloc)")
+    p.add_argument("--flamegraph", default=None, metavar="FILE",
+                   help="write collapsed stacks (flamegraph.pl/speedscope)")
+    p.add_argument("--span-tree", default=None, metavar="FILE",
+                   help="write the span tree as JSON")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the full ingestible profile payload")
+    p.add_argument("--label", default=None,
+                   help="profile label (default: scenario name)")
+    p.add_argument("--max-spans", type=positive_int, default=60,
+                   help="span-tree rows to print (default 60)")
+    add_record(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "scenario",

@@ -8,6 +8,7 @@ from typing import Dict, Optional, Sequence
 from repro.baselines import make_protocol
 from repro.eval.config import TraceProfile
 from repro.mobility.trace import Trace
+from repro.obs import Observability
 from repro.sim.engine import SimConfig, Simulation
 from repro.sim.metrics import MetricsSummary
 
@@ -34,6 +35,7 @@ def execute_config(
     seed: int,
     protocol_kwargs: Optional[dict] = None,
     scenario: Optional[dict] = None,
+    obs: Optional[Observability] = None,
 ) -> ExperimentResult:
     """Run one experiment from a fully-resolved :class:`SimConfig`.
 
@@ -41,10 +43,11 @@ def execute_config(
     parallel executor's workers (``repro.eval.runner``): a config resolved
     once in the parent yields bit-identical results wherever it runs.
     ``scenario`` (a resolved-scenario dict) is stamped into the run's
-    provenance for exact reruns.
+    provenance for exact reruns.  ``obs`` overrides the run's observability
+    context (``repro profile`` injects one whose spans share a recorder).
     """
     protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
-    summary = Simulation(trace, protocol, config, scenario=scenario).run()
+    summary = Simulation(trace, protocol, config, obs=obs, scenario=scenario).run()
     return ExperimentResult(
         protocol=protocol_name,
         trace=trace.name,

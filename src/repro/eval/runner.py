@@ -24,13 +24,16 @@ the parent before dispatch (profiles hold non-picklable builder closures;
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
 import sys
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.eval.config import TraceProfile, trace_profile
 from repro.eval.config import full_scale as _resolve_full_scale
@@ -42,12 +45,56 @@ from repro.sim.engine import SimConfig
 __all__ = [
     "PointExecutionError",
     "PointSpec",
+    "ProgressEvent",
+    "ProgressFn",
     "TraceSpec",
     "parse_jobs",
     "point_scenario_dict",
     "run_point_specs",
     "run_points",
 ]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One live-telemetry record from a running sweep.
+
+    Workers stream these over the pool boundary as points start and
+    finish, so a long sweep reports per-point completion instead of going
+    dark until the pool drains.  ``kind`` is ``"started"`` or
+    ``"finished"``; ``seconds`` is the point's own wall-clock (finished
+    events only).  A point retried after a worker failure emits a second
+    ``finished`` event for the same ``index`` — consumers tracking
+    completion should dedup on it.
+    """
+
+    kind: str
+    index: int
+    total: int
+    protocol: str
+    memory_kb: float
+    rate: float
+    seed: int
+    seconds: Optional[float] = None
+    pid: Optional[int] = None
+
+
+#: progress callback; exceptions it raises are swallowed, never failing a sweep
+ProgressFn = Callable[[ProgressEvent], None]
+
+#: drain-thread shutdown marker (a plain string survives any queue proxy)
+_PROGRESS_SENTINEL = "__repro_progress_done__"
+
+
+def _emit_progress(
+    progress: Optional[ProgressFn], event: ProgressEvent
+) -> None:
+    if progress is None:
+        return
+    try:
+        progress(event)
+    except Exception:  # telemetry must never break the sweep itself
+        pass
 
 
 def parse_jobs(value: Union[int, str, None]) -> int:
@@ -237,13 +284,28 @@ class PointExecutionError(RuntimeError):
 # -- worker-side state ----------------------------------------------------------
 _WORKER_SPECS: Dict[str, TraceSpec] = {}
 _WORKER_TRACES: Dict[str, Trace] = {}
+_WORKER_PROGRESS: Optional[Any] = None  # Manager queue proxy, when streaming
 
 
-def _pool_init(specs: Dict[str, TraceSpec]) -> None:
+def _pool_init(
+    specs: Dict[str, TraceSpec], progress_queue: Optional[Any] = None
+) -> None:
     """Pool initializer: receive the spec table once per worker process."""
-    global _WORKER_SPECS
+    global _WORKER_SPECS, _WORKER_PROGRESS
     _WORKER_SPECS = specs
+    _WORKER_PROGRESS = progress_queue
     _WORKER_TRACES.clear()
+
+
+def _worker_put(record: Tuple[Any, ...]) -> None:
+    """Best-effort heartbeat: a dead queue must not fail the point."""
+    queue = _WORKER_PROGRESS
+    if queue is None:
+        return
+    try:
+        queue.put(record)
+    except Exception:
+        pass
 
 
 def _worker_trace(key: str) -> Trace:
@@ -258,8 +320,13 @@ def _worker_trace(key: str) -> Trace:
 def _run_task(
     idx: int, trace_key: str, point: PointSpec, config: SimConfig
 ) -> Tuple[int, ExperimentResult]:
+    pid = os.getpid()
+    _worker_put(
+        ("started", idx, point.protocol, point.memory_kb, point.rate, point.seed, None, pid)
+    )
     trace = _worker_trace(trace_key)
-    return idx, execute_config(
+    t0 = perf_counter()
+    result = execute_config(
         trace,
         point.protocol,
         config,
@@ -269,6 +336,19 @@ def _run_task(
         protocol_kwargs=point.protocol_kwargs,
         scenario=point.scenario,
     )
+    _worker_put(
+        (
+            "finished",
+            idx,
+            point.protocol,
+            point.memory_kb,
+            point.rate,
+            point.seed,
+            perf_counter() - t0,
+            pid,
+        )
+    )
+    return idx, result
 
 
 def _rerun_entry_serial(
@@ -292,8 +372,50 @@ def _rerun_entry_serial(
     )
 
 
+def _progress_drainer(
+    queue: Any, progress: ProgressFn, total: int
+) -> threading.Thread:
+    """Forward worker heartbeat records to the parent-side callback."""
+
+    def drain() -> None:
+        while True:
+            try:
+                item = queue.get()
+            except Exception:
+                return
+            if item == _PROGRESS_SENTINEL:
+                return
+            try:
+                kind, idx, protocol, memory_kb, rate, seed, seconds, pid = item
+            except Exception:
+                continue
+            _emit_progress(
+                progress,
+                ProgressEvent(
+                    kind=kind,
+                    index=idx,
+                    total=total,
+                    protocol=protocol,
+                    memory_kb=memory_kb,
+                    rate=rate,
+                    seed=seed,
+                    seconds=seconds,
+                    pid=pid,
+                ),
+            )
+
+    thread = threading.Thread(
+        target=drain, name="repro-sweep-progress", daemon=True
+    )
+    thread.start()
+    return thread
+
+
 def _run_pool(
-    entries: Sequence[Entry], n_jobs: int, timeout: Optional[float] = None
+    entries: Sequence[Entry],
+    n_jobs: int,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[ExperimentResult]:
     """Pool execution with per-point failure containment.
 
@@ -303,6 +425,11 @@ def _run_pool(
     when all three attempts fail does a :class:`PointExecutionError` —
     carrying the point's resolved spec — propagate.  After a timeout the
     pool is abandoned without waiting (the hung worker process is orphaned).
+
+    With ``progress`` set, a ``multiprocessing.Manager`` queue rides along
+    in the pool initargs (the proxy pickles; a raw ``mp.Queue`` would not)
+    and workers stream started/finished records through it; a parent-side
+    drain thread forwards them to the callback as they arrive.
     """
     specs: Dict[str, TraceSpec] = {}
     for spec, _, _ in entries:
@@ -310,8 +437,20 @@ def _run_pool(
     results: List[Optional[ExperimentResult]] = [None] * len(entries)
     failed: List[Tuple[int, BaseException]] = []
     unhealthy = False  # hung or broken: no further pool submissions
+    manager = None
+    queue = None
+    drainer = None
+    if progress is not None:
+        try:
+            manager = multiprocessing.Manager()
+            queue = manager.Queue()
+        except Exception:  # no Manager (restricted env): run without telemetry
+            manager = None
+            queue = None
+        if queue is not None:
+            drainer = _progress_drainer(queue, progress, len(entries))
     pool = ProcessPoolExecutor(
-        max_workers=n_jobs, initializer=_pool_init, initargs=(specs,)
+        max_workers=n_jobs, initializer=_pool_init, initargs=(specs, queue)
     )
     try:
         futures = [
@@ -350,6 +489,17 @@ def _run_pool(
                     failed.append((i, exc))
     finally:
         pool.shutdown(wait=not unhealthy, cancel_futures=True)
+        if drainer is not None:
+            try:
+                queue.put(_PROGRESS_SENTINEL)
+            except Exception:
+                pass
+            drainer.join(timeout=5.0)
+        if manager is not None:
+            try:
+                manager.shutdown()
+            except Exception:
+                pass
     if failed:
         # last resort: re-run the stragglers serially in this process
         traces: Dict[str, Trace] = {}
@@ -360,24 +510,57 @@ def _run_pool(
                 file=sys.stderr,
             )
             try:
+                t0 = perf_counter()
                 results[i] = _rerun_entry_serial(entries[i], traces)
             except Exception as exc:
                 spec, point, config = entries[i]
                 raise PointExecutionError(point, config, spec.key, exc) from exc
+            _, point, _ = entries[i]
+            _emit_progress(
+                progress,
+                ProgressEvent(
+                    kind="finished",
+                    index=i,
+                    total=len(entries),
+                    protocol=point.protocol,
+                    memory_kb=point.memory_kb,
+                    rate=point.rate,
+                    seed=point.seed,
+                    seconds=perf_counter() - t0,
+                    pid=os.getpid(),
+                ),
+            )
     return results  # type: ignore[return-value]
 
 
 def _run_serial(
     entries: Sequence[Entry],
     materialized: Optional[Dict[str, Trace]] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[ExperimentResult]:
     traces: Dict[str, Trace] = dict(materialized or {})
     out: List[ExperimentResult] = []
-    for spec, point, config in entries:
+    total = len(entries)
+    pid = os.getpid()
+    for i, (spec, point, config) in enumerate(entries):
+        _emit_progress(
+            progress,
+            ProgressEvent(
+                kind="started",
+                index=i,
+                total=total,
+                protocol=point.protocol,
+                memory_kb=point.memory_kb,
+                rate=point.rate,
+                seed=point.seed,
+                pid=pid,
+            ),
+        )
         trace = traces.get(spec.key)
         if trace is None:
             trace = spec.materialize()
             traces[spec.key] = trace
+        t0 = perf_counter()
         out.append(
             execute_config(
                 trace,
@@ -390,6 +573,20 @@ def _run_serial(
                 scenario=point.scenario,
             )
         )
+        _emit_progress(
+            progress,
+            ProgressEvent(
+                kind="finished",
+                index=i,
+                total=total,
+                protocol=point.protocol,
+                memory_kb=point.memory_kb,
+                rate=point.rate,
+                seed=point.seed,
+                seconds=perf_counter() - t0,
+                pid=pid,
+            ),
+        )
     return out
 
 
@@ -399,6 +596,7 @@ def run_point_specs(
     jobs: Union[int, str, None] = 1,
     materialized: Optional[Dict[str, Trace]] = None,
     timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[ExperimentResult]:
     """Execute ``(trace_spec, point, config)`` entries, possibly in parallel.
 
@@ -411,6 +609,10 @@ def run_point_specs(
     execution; a point that crashes, raises or hangs is retried once and
     then re-run serially, and only a point failing all three attempts
     raises :class:`PointExecutionError` with its resolved spec attached.
+
+    ``progress`` receives a :class:`ProgressEvent` as each point starts and
+    finishes — streamed over the pool boundary for parallel runs, invoked
+    inline for serial ones.  Callback exceptions are swallowed.
     """
     entries = list(entries)
     if not entries:
@@ -420,7 +622,7 @@ def run_point_specs(
     n_jobs = min(parse_jobs(jobs), len(entries))
     if n_jobs > 1:
         try:
-            return _run_pool(entries, n_jobs, timeout)
+            return _run_pool(entries, n_jobs, timeout, progress)
         except PointExecutionError:
             raise
         except _POOL_ERRORS as exc:
@@ -429,7 +631,7 @@ def run_point_specs(
                 "falling back to serial execution",
                 file=sys.stderr,
             )
-    return _run_serial(entries, materialized)
+    return _run_serial(entries, materialized, progress)
 
 
 def run_points(
@@ -439,6 +641,7 @@ def run_points(
     *,
     jobs: Union[int, str, None] = 1,
     trace_spec: Optional[TraceSpec] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[ExperimentResult]:
     """Run experiment ``points`` against one trace, fanning out over workers.
 
@@ -446,6 +649,7 @@ def run_points(
     ``jobs`` values.  ``trace_spec`` lets callers that know a cheaper recipe
     for the trace (a profile name or a CSV path) avoid pickling it to every
     worker; by default the trace itself is shipped once per worker.
+    ``progress`` streams per-point :class:`ProgressEvent` records.
     """
     spec = trace_spec if trace_spec is not None else TraceSpec.inline(trace)
     entries: List[Entry] = []
@@ -460,4 +664,6 @@ def run_points(
                 point, scenario=point_scenario_dict(spec, point, config)
             )
         entries.append((spec, point, config))
-    return run_point_specs(entries, jobs=jobs, materialized={spec.key: trace})
+    return run_point_specs(
+        entries, jobs=jobs, materialized={spec.key: trace}, progress=progress
+    )

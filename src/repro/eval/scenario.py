@@ -44,6 +44,7 @@ from repro.eval.experiment import ExperimentResult
 from repro.eval.runner import (
     Entry,
     PointSpec,
+    ProgressFn,
     TraceSpec,
     point_scenario_dict,
     run_point_specs,
@@ -520,6 +521,7 @@ def run_scenario(
     *,
     jobs: Union[int, str, None] = 1,
     trace: Optional[Trace] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> ScenarioResult:
     """Run every point of ``spec``, possibly in parallel (``jobs``).
 
@@ -527,12 +529,16 @@ def run_scenario(
     already-materialized trace for the spec's recipe (callers holding a
     session-cached trace avoid rebuilding it); parallel workers always
     materialize from the spec, reusing their per-worker cache.
+    ``progress`` streams per-point telemetry (see
+    :class:`repro.eval.runner.ProgressEvent`).
     """
     profile, tspec, materialized = spec.resolve_trace()
     if trace is not None:
         materialized = {**materialized, tspec.key: trace}
     entries = spec.entries(profile, tspec)
-    results = run_point_specs(entries, jobs=jobs, materialized=materialized)
+    results = run_point_specs(
+        entries, jobs=jobs, materialized=materialized, progress=progress
+    )
     return ScenarioResult(
         spec=spec, points=[point for _, point, _ in entries], results=results
     )

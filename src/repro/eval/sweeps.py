@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines import PAPER_PROTOCOLS
 from repro.eval.config import MEMORY_SWEEP_KB, RATE_SWEEP, TraceProfile
-from repro.eval.runner import PointSpec, TraceSpec, run_points
+from repro.eval.runner import PointSpec, ProgressFn, TraceSpec, run_points
 from repro.mobility.trace import Trace
 from repro.utils.tables import format_table
 
@@ -79,10 +79,13 @@ class SweepResult:
             slot["seconds"] += float(rec.get("seconds", 0.0))
             slot["calls"] += int(rec.get("calls", 0))
 
-    def phase_rows(self) -> List[Tuple[str, str, int]]:
-        """``(phase, seconds, calls)`` rows, sorted by seconds descending."""
+    def phase_rows(self) -> List[Tuple[str, float, int]]:
+        """``(phase, seconds, calls)`` rows, sorted by seconds descending.
+
+        Seconds are raw floats; display formatting is the printer's job.
+        """
         return [
-            (name, f"{rec['seconds']:.4f}", int(rec["calls"]))
+            (name, float(rec["seconds"]), int(rec["calls"]))
             for name, rec in sorted(
                 self.phase_timings.items(), key=lambda kv: -kv[1]["seconds"]
             )
@@ -153,6 +156,7 @@ def memory_sweep(
     seed: int = 0,
     jobs: Union[int, str, None] = 1,
     trace_spec: Optional[TraceSpec] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
     """Fig. 11/12: the four metrics vs per-node memory (paper kB units)."""
     result = SweepResult(
@@ -163,7 +167,9 @@ def memory_sweep(
         for name in protocols
         for mem in memories_kb
     ]
-    outcomes = run_points(trace, profile, points, jobs=jobs, trace_spec=trace_spec)
+    outcomes = run_points(
+        trace, profile, points, jobs=jobs, trace_spec=trace_spec, progress=progress
+    )
     for point, outcome in zip(points, outcomes):
         result.add(point.protocol, outcome.metrics, value=point.memory_kb)
     return result
@@ -179,6 +185,7 @@ def rate_sweep(
     seed: int = 0,
     jobs: Union[int, str, None] = 1,
     trace_spec: Optional[TraceSpec] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> SweepResult:
     """Fig. 13/14: the four metrics vs packet generation rate."""
     result = SweepResult(trace=trace.name, parameter="rate", values=tuple(rates))
@@ -187,7 +194,9 @@ def rate_sweep(
         for name in protocols
         for rate in rates
     ]
-    outcomes = run_points(trace, profile, points, jobs=jobs, trace_spec=trace_spec)
+    outcomes = run_points(
+        trace, profile, points, jobs=jobs, trace_spec=trace_spec, progress=progress
+    )
     for point, outcome in zip(points, outcomes):
         result.add(point.protocol, outcome.metrics, value=point.rate)
     return result

@@ -7,12 +7,21 @@ Four pieces, bundled per-run by :class:`Observability`:
 * :mod:`repro.obs.registry` — named counters/gauges/histograms protocols
   register into instead of ad-hoc dicts;
 * :mod:`repro.obs.profiler` — ``perf_counter`` phase timers (where does
-  the wall-clock go?);
+  the wall-clock go?), a shim over :mod:`repro.obs.spans`;
 * :mod:`repro.obs.provenance` — config/seed/version stamps making result
   rows self-describing.
 
+Plus the deep-profiling layer:
+
+* :mod:`repro.obs.spans` — hierarchical span trees with self vs.
+  cumulative seconds;
+* :mod:`repro.obs.sampler` — background stack sampling and allocation
+  snapshots;
+* :mod:`repro.obs.export` — collapsed-stack flamegraphs and ingestible
+  profile payloads.
+
 See docs/observability.md for the event taxonomy and CLI usage
-(``repro trace``, ``repro stats``).
+(``repro trace``, ``repro stats``, ``repro profile``).
 """
 
 from repro.obs import events as event_types
@@ -26,10 +35,19 @@ from repro.obs.events import (
     Event,
     EventLog,
 )
+from repro.obs.export import (
+    collapsed_lines,
+    profile_payload,
+    render_span_tree,
+    write_flamegraph,
+    write_profile,
+)
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.provenance import RunProvenance, package_version
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import Observability, ObsConfig
+from repro.obs.sampler import SamplingProfiler
+from repro.obs.spans import SpanNode, SpanRecorder
 
 __all__ = [
     "ALL_EVENTS",
@@ -47,7 +65,15 @@ __all__ = [
     "PACKET_EVENTS",
     "PhaseProfiler",
     "RunProvenance",
+    "SamplingProfiler",
+    "SpanNode",
+    "SpanRecorder",
     "TERMINAL_EVENTS",
+    "collapsed_lines",
     "event_types",
     "package_version",
+    "profile_payload",
+    "render_span_tree",
+    "write_flamegraph",
+    "write_profile",
 ]

@@ -1,0 +1,154 @@
+"""Profile exports: collapsed-stack flamegraphs, span trees, payloads.
+
+The collapsed-stack format is one line per unique stack —
+``root;caller;callee <count>`` — consumable by ``flamegraph.pl``,
+speedscope, and most flamegraph viewers.  The profile *payload* is the
+JSON document ``repro profile --out`` writes and ``repro db ingest``
+recognises (``kind: "profile"``): span tree, flat per-phase totals,
+sampler stacks and allocation sites, plus enough provenance (scenario
+dict, label, wall seconds) to chart per-phase trends across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "collapsed_lines",
+    "write_flamegraph",
+    "profile_payload",
+    "write_profile",
+    "render_span_tree",
+    "span_tree_rows",
+]
+
+
+def collapsed_lines(samples: Mapping[Tuple[str, ...], int]) -> List[str]:
+    """Collapsed-stack lines (``a;b;c 12``), heaviest stacks first."""
+    return [
+        f"{';'.join(stack)} {count}"
+        for stack, count in sorted(
+            samples.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+
+
+def write_flamegraph(
+    samples: Mapping[Tuple[str, ...], int], path: Union[str, Path]
+) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = collapsed_lines(samples)
+    Path(path).write_text(
+        "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+    )
+    return len(lines)
+
+
+def span_tree_rows(
+    tree: Mapping[str, Any],
+    *,
+    min_fraction: float = 0.001,
+) -> List[Tuple[int, str, float, float, int]]:
+    """Flatten a span tree into ``(depth, name, cum_s, self_s, calls)`` rows.
+
+    Children come pre-sorted (heaviest first) from ``SpanRecorder.tree``;
+    spans below ``min_fraction`` of the root's cumulative seconds are
+    skipped so hot paths stay readable.
+    """
+    root_seconds = float(tree.get("seconds") or 0.0)
+    floor = root_seconds * min_fraction
+    rows: List[Tuple[int, str, float, float, int]] = []
+
+    def visit(node: Mapping[str, Any], depth: int) -> None:
+        seconds = float(node.get("seconds") or 0.0)
+        if depth and seconds < floor:
+            return
+        rows.append(
+            (
+                depth,
+                str(node.get("name", "?")),
+                seconds,
+                float(node.get("self_seconds") or 0.0),
+                int(node.get("calls") or 0),
+            )
+        )
+        for child in node.get("children", ()):
+            visit(child, depth + 1)
+
+    visit(tree, 0)
+    return rows
+
+
+def render_span_tree(
+    tree: Mapping[str, Any],
+    *,
+    max_rows: int = 60,
+    min_fraction: float = 0.001,
+) -> str:
+    """Human-readable indented span tree with cum/self seconds per span."""
+    rows = span_tree_rows(tree, min_fraction=min_fraction)
+    shown = rows[:max_rows]
+    name_width = max(
+        (len("  " * depth + name) for depth, name, *_ in shown), default=4
+    )
+    name_width = max(name_width, len("span"))
+    header = (
+        f"{'span':<{name_width}}  {'cum s':>10}  {'self s':>10}  {'calls':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for depth, name, seconds, self_seconds, calls in shown:
+        label = "  " * depth + name
+        lines.append(
+            f"{label:<{name_width}}  {seconds:>10.4f}  "
+            f"{self_seconds:>10.4f}  {calls:>10d}"
+        )
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more spans elided")
+    return "\n".join(lines)
+
+
+def profile_payload(
+    *,
+    label: str,
+    scenario: Optional[Mapping[str, Any]],
+    wall_seconds: float,
+    span_tree: Mapping[str, Any],
+    phases: Mapping[str, Mapping[str, float]],
+    recorded_at: str,
+    sampler: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Assemble the ingestible profile document (``kind: "profile"``)."""
+    payload: Dict[str, Any] = {
+        "kind": "profile",
+        "label": label,
+        "recorded_at": recorded_at,
+        "scenario": dict(scenario) if scenario is not None else None,
+        "wall_seconds": float(wall_seconds),
+        "span_tree": dict(span_tree),
+        "phases": {
+            name: {
+                "seconds": float(rec["seconds"]),
+                "calls": int(rec["calls"]),
+            }
+            for name, rec in phases.items()
+        },
+        "hz": None,
+        "n_samples": 0,
+        "flamegraph": [],
+        "allocations": [],
+    }
+    if sampler is not None:
+        payload["hz"] = sampler.hz
+        payload["n_samples"] = sampler.n_samples
+        payload["flamegraph"] = collapsed_lines(sampler.samples)
+        payload["allocations"] = list(sampler.allocations)
+    return payload
+
+
+def write_profile(payload: Mapping[str, Any], path: Union[str, Path]) -> None:
+    """Write a profile payload as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,74 +1,110 @@
 """Phase profiling: where does a simulation's wall-clock time go?
 
 The engine and protocols bracket their coarse phases with
-``perf_counter``-based timers.  Phases are hierarchy-free accumulators:
-``dispatch.visit_start`` includes the protocol hooks it triggers, so the
-router's ``router.carrier_selection`` seconds are a *subset* of it, not a
-sibling (documented in docs/observability.md).
+``perf_counter``-based timers.  Since the span refactor the profiler is a
+thin shim over a :class:`~repro.obs.spans.SpanRecorder` subtree: phases
+recorded while a dispatch span is current nest under it, so
+``router.carrier_selection`` is a true *child* of ``dispatch.visit_start``
+with its own self-time rather than an overlap-ambiguous sibling
+(see docs/observability.md).  The flat :meth:`PhaseProfiler.report` view
+aggregates the tree by span name, so its keys and totals are unchanged
+for existing ``phase_timings`` consumers.
 
 Two usage styles:
 
 * hot loops call :meth:`PhaseProfiler.add` with a precomputed delta (two
   ``perf_counter`` calls, no context-manager overhead);
 * everything else uses ``with profiler.phase("name"):``.
+
+By default each profiler owns a private recorder; pass ``recorder=`` to
+share one across runs (``repro profile`` nests every point of a scenario
+under one root span this way).  The profiler's *anchor* is the recorder's
+current span at construction time: queries and :meth:`clear` only see the
+subtree recorded beneath it, so per-run ``phase_timings`` stay per-run
+even on a shared recorder.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.spans import SpanNode, SpanRecorder
 
 
 class PhaseProfiler:
-    """Accumulates (seconds, calls) per named phase."""
+    """Accumulates (seconds, calls) per named phase on a span tree."""
 
-    __slots__ = ("enabled", "_seconds", "_calls")
+    __slots__ = ("enabled", "recorder", "anchor")
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        recorder: Optional[SpanRecorder] = None,
+    ) -> None:
         self.enabled = bool(enabled)
-        self._seconds: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
+        self.recorder = recorder if recorder is not None else SpanRecorder()
+        #: subtree root for this profiler's phases (supports shared recorders)
+        self.anchor: SpanNode = self.recorder.current
 
     def add(self, phase: str, dt: float, calls: int = 1) -> None:
         """Fold ``dt`` seconds (over ``calls`` invocations) into ``phase``."""
         if not self.enabled:
             return
-        self._seconds[phase] = self._seconds.get(phase, 0.0) + dt
-        self._calls[phase] = self._calls.get(phase, 0) + calls
+        # hot path (router hooks call this per visit): fold straight into
+        # the recorder's current node, skipping the delegation hop
+        cur = self.recorder.current
+        node = cur.children.get(phase)
+        if node is None:
+            node = cur.child(phase)
+        node.seconds += dt
+        node.calls += calls
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         if not self.enabled:
             yield
             return
-        t0 = perf_counter()
-        try:
+        with self.recorder.span(name):
             yield
-        finally:
-            self.add(name, perf_counter() - t0)
 
     # -- queries -----------------------------------------------------------------
     def seconds(self, phase: str) -> float:
-        return self._seconds.get(phase, 0.0)
+        flat = self.recorder.flat(self.anchor).get(phase)
+        return flat["seconds"] if flat else 0.0
 
     def calls(self, phase: str) -> int:
-        return self._calls.get(phase, 0)
+        flat = self.recorder.flat(self.anchor).get(phase)
+        return int(flat["calls"]) if flat else 0
 
     def report(self) -> Dict[str, Dict[str, float]]:
         """``{phase: {"seconds": s, "calls": n}}``, sorted by seconds desc."""
+        flat = self.recorder.flat(self.anchor)
         return {
-            name: {"seconds": self._seconds[name], "calls": self._calls.get(name, 0)}
-            for name in sorted(self._seconds, key=self._seconds.get, reverse=True)
+            name: {
+                "seconds": flat[name]["seconds"],
+                "calls": int(flat[name]["calls"]),
+            }
+            for name in sorted(
+                flat, key=lambda n: flat[n]["seconds"], reverse=True
+            )
         }
 
-    def rows(self) -> List[Tuple[str, str, int]]:
-        """``(phase, seconds, calls)`` rows for table printing."""
+    def rows(self) -> List[Tuple[str, float, int]]:
+        """``(phase, seconds, calls)`` rows for table printing.
+
+        Seconds are raw floats; callers format for display.
+        """
         return [
-            (name, f"{self._seconds[name]:.4f}", self._calls.get(name, 0))
-            for name in sorted(self._seconds, key=self._seconds.get, reverse=True)
+            (name, rec["seconds"], int(rec["calls"]))
+            for name, rec in self.report().items()
         ]
 
+    def tree(self) -> Dict[str, object]:
+        """The span tree under this profiler's anchor (JSON-shaped)."""
+        return self.recorder.tree(self.anchor)
+
     def clear(self) -> None:
-        self._seconds.clear()
-        self._calls.clear()
+        self.recorder.clear(self.anchor)

@@ -51,13 +51,25 @@ class Observability:
 
     __slots__ = ("config", "events", "registry", "profiler")
 
-    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ObsConfig] = None,
+        *,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
         self.config = config or ObsConfig()
         self.events = EventLog(
             capacity=self.config.event_capacity, enabled=self.config.enabled
         )
         self.registry = MetricsRegistry()
-        self.profiler = PhaseProfiler(enabled=self.config.profile)
+        # An injected profiler (e.g. one anchored on a shared SpanRecorder,
+        # as ``repro profile`` does per scenario point) wins over the config
+        # flag so callers control where its spans nest.
+        self.profiler = (
+            profiler
+            if profiler is not None
+            else PhaseProfiler(enabled=self.config.profile)
+        )
 
     @property
     def enabled(self) -> bool:
@@ -78,6 +90,7 @@ class Observability:
                 "recorded": len(self.events),
                 "emitted": self.events.n_emitted,
                 "evicted": self.events.n_evicted,
+                "capacity": self.events.capacity,
                 "by_type": self.events.counts_by_type(),
             },
         }

@@ -659,20 +659,31 @@ class Simulation:
         )
         world = self.world
         if prof.enabled:
+            # park the span cursor on the per-kind dispatch node before each
+            # handler so protocol-side prof.add() calls (router.*, baseline.*)
+            # nest under the dispatch span that triggered them — one list
+            # index + attribute store per event
+            rec = prof.recorder
+            anchor = rec.current
+            nodes = [rec.node(name, anchor) for name in self._DISPATCH_PHASES]
             acc = [0.0, 0.0, 0.0, 0.0, 0.0]
             cnt = [0, 0, 0, 0, 0]
-            for t, kind, _, payload in events:
-                world.now = t
-                t0 = perf_counter()
-                if kind == _PROBE:
-                    payload(world)
-                else:
-                    handlers[kind](payload, t)
-                acc[kind] += perf_counter() - t0
-                cnt[kind] += 1
-            for kind, phase in enumerate(self._DISPATCH_PHASES):
+            try:
+                for t, kind, _, payload in events:
+                    world.now = t
+                    rec.current = nodes[kind]
+                    t0 = perf_counter()
+                    if kind == _PROBE:
+                        payload(world)
+                    else:
+                        handlers[kind](payload, t)
+                    acc[kind] += perf_counter() - t0
+                    cnt[kind] += 1
+            finally:
+                rec.current = anchor
+            for kind, node in enumerate(nodes):
                 if cnt[kind]:
-                    prof.add(phase, acc[kind], cnt[kind])
+                    rec.fold(node, acc[kind], cnt[kind])
         else:
             for t, kind, _, payload in events:
                 world.now = t

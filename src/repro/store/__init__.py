@@ -17,6 +17,7 @@ from repro.store.baselines import (
 from repro.store.db import (
     ExperimentDB,
     PointRow,
+    ProfileRow,
     canonical_json,
     content_hash,
     default_db_path,
@@ -27,6 +28,7 @@ from repro.store.ingest import (
     ingest_degradation,
     ingest_experiment_results,
     ingest_payload,
+    ingest_profile,
     ingest_scenario_result,
     ingest_sweep_result,
 )
@@ -54,6 +56,7 @@ __all__ = [
     "IngestStats",
     "PointFilter",
     "PointRow",
+    "ProfileRow",
     "RegressionCheck",
     "RegressionVerdict",
     "Tolerance",
@@ -67,6 +70,7 @@ __all__ = [
     "ingest_degradation",
     "ingest_experiment_results",
     "ingest_payload",
+    "ingest_profile",
     "ingest_scenario_result",
     "ingest_sweep_result",
     "latest_per_point",

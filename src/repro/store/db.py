@@ -45,6 +45,7 @@ __all__ = [
     "DEFAULT_DB_ENV",
     "ExperimentDB",
     "PointRow",
+    "ProfileRow",
     "canonical_json",
     "content_hash",
     "default_db_path",
@@ -142,6 +143,31 @@ _MIGRATIONS: List[Sequence[str]] = [
             PRIMARY KEY (baseline_id, scenario_hash, metric)
         )""",
     ),
+    # v2: recorded performance profiles (span trees + flamegraphs) and the
+    # per-phase wall-clock rows behind the trend report
+    (
+        """CREATE TABLE profiles (
+            id INTEGER PRIMARY KEY,
+            run_id INTEGER NOT NULL REFERENCES runs(id),
+            recorded_at TEXT NOT NULL,
+            scenario_hash TEXT NOT NULL DEFAULT '',
+            label TEXT NOT NULL DEFAULT '',
+            hz REAL,
+            n_samples INTEGER NOT NULL DEFAULT 0,
+            wall_seconds REAL NOT NULL,
+            span_tree TEXT,
+            flamegraph TEXT,
+            allocations TEXT
+        )""",
+        "CREATE INDEX idx_profiles_scenario ON profiles(scenario_hash)",
+        """CREATE TABLE profile_phases (
+            profile_id INTEGER NOT NULL REFERENCES profiles(id),
+            phase TEXT NOT NULL,
+            seconds REAL NOT NULL,
+            calls INTEGER NOT NULL DEFAULT 0,
+            PRIMARY KEY (profile_id, phase)
+        )""",
+    ),
 ]
 
 SCHEMA_VERSION = len(_MIGRATIONS)
@@ -185,6 +211,35 @@ class PointRow:
         if self.half_widths:
             out["half_widths"] = dict(self.half_widths)
         return out
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One stored performance profile with its per-phase seconds."""
+
+    id: int
+    run_id: int
+    recorded_at: str
+    scenario_hash: str
+    label: str
+    hz: Optional[float]
+    n_samples: int
+    wall_seconds: float
+    #: phase -> {"seconds": s, "calls": n}
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "run_id": self.run_id,
+            "recorded_at": self.recorded_at,
+            "scenario_hash": self.scenario_hash,
+            "label": self.label,
+            "hz": self.hz,
+            "n_samples": self.n_samples,
+            "wall_seconds": self.wall_seconds,
+            "phases": {p: dict(rec) for p, rec in self.phases.items()},
+        }
 
 
 #: a metric value: plain number, or (value, half_width) when a CI exists
@@ -345,6 +400,129 @@ class ExperimentDB:
                 [(point_id, k, v, hw) for k, (v, hw) in norm.items()],
             )
         return point_id, True
+
+    def record_profile(
+        self,
+        run_id: int,
+        *,
+        wall_seconds: float,
+        phases: Mapping[str, Mapping[str, float]],
+        scenario: Optional[Mapping[str, Any]] = None,
+        label: str = "",
+        hz: Optional[float] = None,
+        n_samples: int = 0,
+        span_tree: Optional[Mapping[str, Any]] = None,
+        flamegraph: Optional[Sequence[str]] = None,
+        allocations: Optional[Sequence[Mapping[str, Any]]] = None,
+        recorded_at: Optional[str] = None,
+    ) -> int:
+        """Record one performance profile; returns its id.
+
+        ``phases`` maps phase names to ``{"seconds", "calls"}`` records
+        (the trend-report rows); the span tree, collapsed-stack flamegraph
+        lines and allocation sites ride along as JSON blobs.  The scenario
+        dict is hashed so profiles of the same workload chart as one
+        series.
+        """
+        if not phases:
+            raise ValueError("cannot record a profile with no phases")
+        with self._conn:
+            cur = self._conn.execute(
+                "INSERT INTO profiles (run_id, recorded_at, scenario_hash, "
+                "label, hz, n_samples, wall_seconds, span_tree, flamegraph, "
+                "allocations) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                (
+                    run_id,
+                    recorded_at or _utc_now(),
+                    content_hash(scenario) if scenario is not None else "",
+                    label,
+                    hz,
+                    int(n_samples),
+                    float(wall_seconds),
+                    canonical_json(span_tree) if span_tree is not None else None,
+                    "\n".join(flamegraph) if flamegraph else None,
+                    canonical_json(list(allocations)) if allocations else None,
+                ),
+            )
+            profile_id = int(cur.lastrowid)
+            self._conn.executemany(
+                "INSERT INTO profile_phases (profile_id, phase, seconds, "
+                "calls) VALUES (?,?,?,?)",
+                [
+                    (
+                        profile_id,
+                        str(phase),
+                        float(rec["seconds"]),
+                        int(rec.get("calls", 0)),
+                    )
+                    for phase, rec in phases.items()
+                ],
+            )
+        return profile_id
+
+    def profile_rows(
+        self, scenario_hash: Optional[str] = None, label: Optional[str] = None
+    ) -> List[ProfileRow]:
+        """Stored profiles (optionally filtered), oldest first."""
+        clauses, params = [], []
+        if scenario_hash:
+            clauses.append("scenario_hash = ?")
+            params.append(scenario_hash)
+        if label:
+            clauses.append("label = ?")
+            params.append(label)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._conn.execute(
+            "SELECT id, run_id, recorded_at, scenario_hash, label, hz, "
+            f"n_samples, wall_seconds FROM profiles {where} "
+            "ORDER BY recorded_at, id",
+            params,
+        ).fetchall()
+        out: List[ProfileRow] = []
+        for r in rows:
+            phases = {
+                p["phase"]: {"seconds": p["seconds"], "calls": p["calls"]}
+                for p in self._conn.execute(
+                    "SELECT phase, seconds, calls FROM profile_phases "
+                    "WHERE profile_id = ?",
+                    (r["id"],),
+                )
+            }
+            out.append(
+                ProfileRow(
+                    id=r["id"],
+                    run_id=r["run_id"],
+                    recorded_at=r["recorded_at"],
+                    scenario_hash=r["scenario_hash"],
+                    label=r["label"],
+                    hz=r["hz"],
+                    n_samples=r["n_samples"],
+                    wall_seconds=r["wall_seconds"],
+                    phases=phases,
+                )
+            )
+        return out
+
+    def profile_blob(self, profile_id: int) -> Optional[Dict[str, Any]]:
+        """One profile's stored span tree / flamegraph / allocation blobs."""
+        row = self._conn.execute(
+            "SELECT span_tree, flamegraph, allocations FROM profiles "
+            "WHERE id = ?",
+            (profile_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "span_tree": json.loads(row["span_tree"])
+            if row["span_tree"]
+            else None,
+            "flamegraph": row["flamegraph"].splitlines()
+            if row["flamegraph"]
+            else [],
+            "allocations": json.loads(row["allocations"])
+            if row["allocations"]
+            else [],
+        }
 
     def record_run_metrics(self, run_id: int, values: Mapping[str, float]) -> None:
         """Attach run-level scalar metrics (e.g. benchmark wall-clock)."""

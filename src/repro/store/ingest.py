@@ -15,7 +15,9 @@ Sources understood (objects and their exported-JSON forms):
 * :class:`~repro.eval.resilience.DegradationCurves` and the
   ``repro resilience --out`` report JSON;
 * benchmark wall-clock snapshots (``BENCH_sweeps.json``, single snapshot
-  or the appended ``history`` form).
+  or the appended ``history`` form);
+* ``repro profile --out`` documents (``kind: "profile"``: span tree,
+  flamegraph, per-phase seconds — the rows behind the per-phase trend).
 
 Deduplication is content-addressed (see :mod:`repro.store.db`): the point
 key is the fully-resolved single-point scenario dict, so re-ingesting the
@@ -36,6 +38,7 @@ __all__ = [
     "ingest_degradation",
     "ingest_experiment_results",
     "ingest_payload",
+    "ingest_profile",
     "ingest_scenario_result",
     "ingest_sweep_result",
 ]
@@ -417,6 +420,69 @@ def _ingest_bench_payload(
     return stats
 
 
+# -- performance profiles ------------------------------------------------------
+
+
+def ingest_profile(
+    db: ExperimentDB, payload: Mapping[str, Any], *, label: str = ""
+) -> IngestStats:
+    """Ingest a ``repro profile --out`` document (``kind: "profile"``).
+
+    The whole payload is content-hashed for run-level dedup — re-ingesting
+    the same profile file is a no-op.  Per-phase seconds land in
+    ``profile_phases``, feeding the per-phase trend in ``repro db report``.
+    """
+    phases = payload.get("phases")
+    if not isinstance(phases, Mapping) or not phases:
+        raise ValueError("profile payload has no 'phases' to ingest")
+    wall = payload.get("wall_seconds")
+    if not isinstance(wall, (int, float)):
+        raise ValueError("profile payload has no numeric 'wall_seconds'")
+    stats = IngestStats()
+    # the payload's own label wins: ingest callers default to the file
+    # path, which would split one profiled workload into per-file families
+    label = str(payload.get("label") or label or "")
+    run_id = db.record_run(
+        "profile",
+        label=label,
+        extra={"recorded_at": payload.get("recorded_at")},
+        run_hash=content_hash({"profile": payload}),
+        created_at=payload.get("recorded_at") or None,
+    )
+    if run_id is None:
+        return stats
+    stats.runs += 1
+    scenario = payload.get("scenario")
+    db.record_profile(
+        run_id,
+        wall_seconds=float(wall),
+        phases={
+            str(p): {
+                "seconds": float(rec.get("seconds", 0.0)),
+                "calls": int(rec.get("calls", 0)),
+            }
+            for p, rec in phases.items()
+            if isinstance(rec, Mapping)
+        },
+        scenario=scenario if isinstance(scenario, Mapping) else None,
+        label=label,
+        hz=payload.get("hz"),
+        n_samples=int(payload.get("n_samples") or 0),
+        span_tree=payload.get("span_tree")
+        if isinstance(payload.get("span_tree"), Mapping)
+        else None,
+        flamegraph=[
+            str(line) for line in payload.get("flamegraph") or []
+        ],
+        allocations=[
+            a for a in payload.get("allocations") or [] if isinstance(a, Mapping)
+        ],
+        recorded_at=payload.get("recorded_at") or None,
+    )
+    stats.points_new += 1
+    return stats
+
+
 # -- generic payload dispatch --------------------------------------------------
 
 
@@ -494,6 +560,8 @@ def ingest_payload(
             return _ingest_degradation_payload(db, payload, label=label)
         if "series" in payload and "parameter" in payload:
             return _ingest_sweep_payload(db, payload, label=label)
+        if payload.get("kind") == "profile" and "phases" in payload:
+            return ingest_profile(db, payload, label=label)
 
     # generic: collect metric/CI rows anywhere in the structure
     metric_rows: List[Mapping[str, Any]] = []

@@ -113,6 +113,35 @@ def trend_report(db: ExperimentDB) -> Dict[str, Any]:
                 {"recorded_at": run["created_at"], "value": values["suite_seconds"]}
             )
 
+    # per-phase wall-clock trend over recorded profiles, grouped by the
+    # profiled workload (scenario hash) — "same metrics, lower
+    # seconds-per-phase" is the gate the upcoming perf PRs aim at
+    profiles: Dict[str, Any] = {}
+    for prow in db.profile_rows():
+        key = prow.scenario_hash or f"label:{prow.label}"
+        fam = profiles.setdefault(
+            key,
+            {
+                "label": prow.label or (prow.scenario_hash[:12] or "unlabelled"),
+                "scenario_hash": prow.scenario_hash,
+                "recordings": 0,
+                "wall_seconds": [],
+                "phases": {},
+            },
+        )
+        fam["recordings"] += 1
+        fam["wall_seconds"].append(
+            {"recorded_at": prow.recorded_at, "value": prow.wall_seconds}
+        )
+        for phase, rec in prow.phases.items():
+            fam["phases"].setdefault(phase, []).append(
+                {
+                    "recorded_at": prow.recorded_at,
+                    "seconds": rec["seconds"],
+                    "calls": rec["calls"],
+                }
+            )
+
     return {
         "points": db.point_count(),
         "distinct_points": len(latest),
@@ -123,6 +152,7 @@ def trend_report(db: ExperimentDB) -> Dict[str, Any]:
         "figures": dict(sorted(figures.items())),
         "changed_points": changed,
         "bench": bench,
+        "profiles": dict(sorted(profiles.items())),
     }
 
 
@@ -195,6 +225,39 @@ def render_markdown(report: Dict[str, Any]) -> str:
         for entry in bench["suite_seconds"]:
             lines.append(f"| {entry['recorded_at']} | {entry['value']:.3f} |")
     lines.append("")
+
+    profiles = report.get("profiles") or {}
+    lines.append("## Per-phase wall-clock trend (recorded profiles)")
+    lines.append("")
+    if not profiles:
+        lines.append(
+            "No profiles recorded — run `repro profile <scenario> --record`."
+        )
+    else:
+        for fam in profiles.values():
+            walls = fam["wall_seconds"]
+            first_wall, last_wall = walls[0]["value"], walls[-1]["value"]
+            lines.append(
+                f"### {fam['label']} — {fam['recordings']} recording(s), "
+                f"wall {first_wall:.2f}s -> {last_wall:.2f}s"
+            )
+            lines.append("")
+            lines.append("| phase | recordings | first (s) | last (s) | delta |")
+            lines.append("|---|---|---|---|---|")
+            phase_rows = sorted(
+                fam["phases"].items(), key=lambda kv: -kv[1][-1]["seconds"]
+            )
+            for phase, series in phase_rows:
+                first, last = series[0]["seconds"], series[-1]["seconds"]
+                if first > 0:
+                    delta = f"{(last - first) / first * 100:+.1f}%"
+                else:
+                    delta = "-"
+                lines.append(
+                    f"| {phase} | {len(series)} | {first:.4f} | {last:.4f} "
+                    f"| {delta} |"
+                )
+            lines.append("")
     return "\n".join(lines)
 
 

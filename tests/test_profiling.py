@@ -1,0 +1,255 @@
+"""Tests for deep-profiling runs (repro.eval.profiling), live sweep
+telemetry (progress events), and the profile -> store round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.profiling import (
+    point_label,
+    profile_scenario,
+    timed_scenario_run,
+)
+from repro.eval.runner import ProgressEvent, run_points
+from repro.eval.scenario import ScenarioSpec, run_scenario
+from repro.eval.sweeps import memory_sweep
+from repro.eval.config import TraceProfile
+from repro.mobility.synthetic import dart_like
+from repro.mobility.trace import days
+from repro.store import ExperimentDB, ingest_payload, trend_report
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return TraceProfile(
+        name="tiny",
+        build=lambda seed: dart_like("tiny", seed=seed),
+        ttl=days(4.0),
+        time_unit=days(2.0),
+        workload_scale=0.02,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_trace(tiny_profile):
+    return tiny_profile.build(1)
+
+
+def fast_manifest(**overrides):
+    base = {
+        "name": "test-profile",
+        "trace": {"profile": "DART", "seed": 1},
+        "sim": {"memory_kb": 2000, "rate": 100, "workload_scale": 0.004},
+        "protocols": ["DTN-FLOW"],
+        "seeds": [1],
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture(scope="module")
+def fast_spec():
+    return ScenarioSpec.from_dict(fast_manifest()).validate()
+
+
+@pytest.fixture(scope="module")
+def profiled(fast_spec):
+    return profile_scenario(fast_spec, hz=200.0, sample=True)
+
+
+class TestProfileScenario:
+    def test_root_span_matches_wall_clock(self, profiled):
+        """Acceptance: root cumulative within 5% of the measured wall."""
+        tree = profiled.span_tree()
+        root = float(tree["seconds"])
+        assert profiled.wall_seconds > 0
+        assert abs(root - profiled.wall_seconds) <= 0.05 * profiled.wall_seconds
+
+    def test_point_spans_nest_engine_phases(self, profiled):
+        tree = profiled.span_tree()
+        profile_node = next(
+            c for c in tree["children"] if c["name"] == "profile"
+        )
+        pt = next(
+            c
+            for c in profile_node["children"]
+            if c["name"].startswith("point[")
+        )
+        child_names = {c["name"] for c in pt.get("children", [])}
+        assert "dispatch.visit_start" in child_names
+
+    def test_phases_drop_wrapper_spans(self, profiled):
+        phases = profiled.phases()
+        assert phases
+        assert all(not name.startswith("point[") for name in phases)
+        assert "profile" not in phases
+
+    def test_sampler_collected_stacks(self, profiled):
+        assert profiled.sampler is not None
+        assert profiled.sampler.n_samples > 0
+
+    def test_payload_is_ingestible_shape(self, profiled):
+        payload = profiled.payload()
+        assert payload["kind"] == "profile"
+        assert payload["phases"] and payload["wall_seconds"] > 0
+        assert payload["span_tree"]["name"] == "root"
+        assert payload["n_samples"] == profiled.sampler.n_samples
+
+    def test_results_match_unprofiled_run(self, fast_spec, profiled):
+        """Profiling must not change simulation outcomes."""
+        plain = run_scenario(fast_spec, jobs=1)
+        assert [r.metrics for r in profiled.results] == [
+            r.metrics for r in plain.results
+        ]
+
+    def test_point_label_format(self, profiled):
+        assert point_label(profiled.points[0]) == (
+            "point[DTN-FLOW mem=2000 rate=100 seed=1]"
+        )
+
+    def test_timed_scenario_run_returns_wall_and_results(self, fast_spec):
+        wall, results = timed_scenario_run(fast_spec, profile_enabled=False)
+        assert wall > 0 and len(results) == 1
+
+
+class TestProfileStoreRoundTrip:
+    def test_ingest_report_and_dedup(self, profiled, tmp_path):
+        payload = profiled.payload()
+        db_path = tmp_path / "exp.db"
+        with ExperimentDB(db_path) as db:
+            stats = ingest_payload(db, payload, label="ignored-fallback")
+            assert stats.runs == 1
+            again = ingest_payload(db, payload)
+            assert again.runs == 0  # content-hash dedup
+            report = trend_report(db)
+        assert len(report["profiles"]) == 1
+        fam = next(iter(report["profiles"].values()))
+        # the payload's own label wins over the ingest fallback
+        assert fam["label"] == "test-profile"
+        assert fam["recordings"] == 1
+        assert "dispatch.visit_start" in fam["phases"]
+        phase = fam["phases"]["dispatch.visit_start"][0]
+        assert phase["seconds"] > 0 and phase["calls"] > 0
+
+    def test_profile_rows_and_blob(self, profiled, tmp_path):
+        payload = profiled.payload()
+        with ExperimentDB(tmp_path / "exp.db") as db:
+            ingest_payload(db, payload)
+            rows = db.profile_rows()
+            assert len(rows) == 1
+            blob = db.profile_blob(rows[0].id)
+        assert blob["span_tree"]["name"] == "root"
+        assert blob["flamegraph"] == payload["flamegraph"]
+
+    def test_ingest_rejects_empty_phases(self, tmp_path):
+        with ExperimentDB(tmp_path / "exp.db") as db:
+            with pytest.raises(ValueError, match="phases"):
+                ingest_payload(
+                    db, {"kind": "profile", "phases": {}, "wall_seconds": 1.0}
+                )
+
+
+class TestProgressTelemetry:
+    def _points(self, tiny_trace, tiny_profile, n=3):
+        from repro.eval.runner import PointSpec
+
+        return [
+            PointSpec(
+                protocol="Direct",
+                memory_kb=500.0 + 100 * i,
+                rate=150.0,
+                seed=0,
+            )
+            for i in range(n)
+        ]
+
+    def test_serial_progress_events(self, tiny_trace, tiny_profile):
+        events = []
+        run_points(
+            tiny_trace,
+            tiny_profile,
+            self._points(tiny_trace, tiny_profile),
+            jobs=1,
+            progress=events.append,
+        )
+        kinds = [e.kind for e in events]
+        assert kinds.count("started") == 3
+        assert kinds.count("finished") == 3
+        finished = [e for e in events if e.kind == "finished"]
+        assert sorted(e.index for e in finished) == [0, 1, 2]
+        assert all(isinstance(e, ProgressEvent) for e in events)
+        assert all(e.total == 3 for e in events)
+        assert all(e.seconds > 0 for e in finished)
+
+    def test_pool_progress_events(self, tiny_trace, tiny_profile):
+        events = []
+        run_points(
+            tiny_trace,
+            tiny_profile,
+            self._points(tiny_trace, tiny_profile),
+            jobs=2,
+            progress=events.append,
+        )
+        finished = {e.index for e in events if e.kind == "finished"}
+        assert finished == {0, 1, 2}
+
+    def test_progress_callback_errors_are_swallowed(
+        self, tiny_trace, tiny_profile
+    ):
+        def boom(event):
+            raise RuntimeError("listener bug")
+
+        results = run_points(
+            tiny_trace,
+            tiny_profile,
+            self._points(tiny_trace, tiny_profile, n=2),
+            jobs=1,
+            progress=boom,
+        )
+        assert len(results) == 2
+
+    def test_results_identical_with_and_without_progress(
+        self, tiny_trace, tiny_profile
+    ):
+        pts = self._points(tiny_trace, tiny_profile, n=2)
+        with_cb = run_points(
+            tiny_trace, tiny_profile, pts, jobs=1, progress=lambda e: None
+        )
+        without = run_points(tiny_trace, tiny_profile, pts, jobs=1)
+        assert [r.metrics for r in with_cb] == [r.metrics for r in without]
+
+
+class TestPhaseKeyIdentity:
+    def test_jobs_n_and_serial_merge_identical_phase_keys(
+        self, tiny_trace, tiny_profile
+    ):
+        """Satellite: parallel merge must not rename or drop phase keys."""
+        kwargs = dict(
+            memories_kb=[500.0, 2000.0],
+            rate=150.0,
+            protocols=["DTN-FLOW"],
+            seed=0,
+        )
+        serial = memory_sweep(tiny_trace, tiny_profile, jobs=1, **kwargs)
+        parallel = memory_sweep(tiny_trace, tiny_profile, jobs=2, **kwargs)
+        assert set(serial.phase_timings) == set(parallel.phase_timings)
+        for name in serial.phase_timings:
+            assert (
+                serial.phase_timings[name]["calls"]
+                == parallel.phase_timings[name]["calls"]
+            )
+
+    def test_phase_rows_carry_floats(self, tiny_trace, tiny_profile):
+        result = memory_sweep(
+            tiny_trace,
+            tiny_profile,
+            memories_kb=[500.0],
+            rate=150.0,
+            protocols=["DTN-FLOW"],
+            jobs=1,
+        )
+        rows = result.phase_rows()
+        assert rows
+        for name, seconds, calls in rows:
+            assert isinstance(seconds, float)
+            assert isinstance(calls, int)
