@@ -1,0 +1,146 @@
+"""Engine hot-path microbenchmarks: dispatch, transfers, table merges.
+
+The sweep benchmarks (Fig. 11-14) measure whole experiments; these three
+isolate the engine layers the hot-path overhaul touches, so a regression in
+one layer shows up directly instead of being averaged into a 30-point sweep:
+
+* **event dispatch** — visit/generation event handling with a no-op
+  protocol: the floor every protocol run pays;
+* **transfer path** — ``station_to_node`` / ``node_to_station`` handovers
+  through a greedy protocol: buffer accounting, delivery, metrics;
+* **routing-table merge** — the distance-vector relaxation
+  (``RoutingTable.merge_snapshot``) over realistic snapshot sizes.
+
+Each records an ops/second figure into ``BENCH_sweeps.json`` via the
+conftest recorder.  Assertions are sanity floors (the machinery actually
+ran), not wall-clock gates — CI wall-clock is gated by the perf-gate job
+on the ci scenario instead.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core.routing_table import RouteEntry, RoutingTable, TableSnapshot
+from repro.mobility.trace import Trace, VisitRecord, days
+from repro.sim.engine import RoutingProtocol, SimConfig, Simulation
+
+from .conftest import record_bench
+
+
+def _shuttle_trace(n_nodes: int, n_visits: int, n_landmarks: int) -> Trace:
+    """Each node cycles the landmarks on a staggered timetable."""
+    recs = []
+    for nid in range(n_nodes):
+        for i in range(n_visits):
+            start = i * 1000.0 + nid * 37.0
+            recs.append(
+                VisitRecord(
+                    start=start,
+                    end=start + 500.0,
+                    node=nid,
+                    landmark=(nid + i) % n_landmarks,
+                )
+            )
+    return Trace(recs, name=f"shuttle{n_nodes}x{n_visits}")
+
+
+class _NoopProtocol(RoutingProtocol):
+    """Accepts every hook and does nothing: isolates engine dispatch."""
+
+    name = "noop"
+    uses_contacts = True
+
+    def on_contact(self, world, a, b, station, t):
+        pass
+
+
+class _GreedyProtocol(RoutingProtocol):
+    """Hands every station packet to the arriving node: transfer stress."""
+
+    name = "greedy"
+
+    def on_visit_start(self, world, node, station, t):
+        for p in station.buffer.packets():
+            world.station_to_node(station, node, p)
+
+
+def test_event_dispatch_micro():
+    trace = _shuttle_trace(n_nodes=60, n_visits=80, n_landmarks=12)
+    config = SimConfig(rate_per_landmark_per_day=200.0, seed=7)
+    sim = Simulation(trace, _NoopProtocol(), config)
+    n_events = 2 * len(trace.records)  # visit start + end per record
+
+    t0 = perf_counter()
+    sim.run()
+    elapsed = perf_counter() - t0
+
+    rate = n_events / elapsed if elapsed > 0 else float("inf")
+    record_bench("engine_event_dispatch", {
+        "visit_events": n_events,
+        "seconds": round(elapsed, 4),
+        "events_per_second": round(rate, 1),
+    })
+    assert rate > 1000  # anything slower means dispatch itself broke
+
+
+def test_transfer_path_micro():
+    trace = _shuttle_trace(n_nodes=40, n_visits=60, n_landmarks=8)
+    # high rate + roomy memory: nearly every visit moves packets both ways
+    config = SimConfig(
+        rate_per_landmark_per_day=2000.0, node_memory_kb=4000.0, seed=7
+    )
+    sim = Simulation(trace, _GreedyProtocol(), config)
+
+    t0 = perf_counter()
+    summary = sim.run()
+    elapsed = perf_counter() - t0
+
+    forwards = summary.forwarding_ops
+    rate = forwards / elapsed if elapsed > 0 else float("inf")
+    record_bench("engine_transfer_path", {
+        "forwards": forwards,
+        "seconds": round(elapsed, 4),
+        "transfers_per_second": round(rate, 1),
+    })
+    assert forwards > 0
+    assert rate > 500
+
+
+def test_routing_table_merge_micro():
+    n_landmarks = 40
+    n_rounds = 400
+    table = RoutingTable(0)
+    for lm in range(1, 6):
+        table.set_direct_link(lm, float(10 + lm))
+
+    # neighbours advertise full tables with slowly improving delays and
+    # fresh sequence numbers, the steady-state merge workload of a run
+    snapshots = []
+    for seq in range(n_rounds):
+        origin = 1 + seq % 5
+        entries = tuple(
+            RouteEntry(dest=d, next_hop=origin, delay=100.0 + ((seq * 7 + d) % 50))
+            for d in range(n_landmarks)
+            if d != origin
+        )
+        snapshots.append(TableSnapshot(origin=origin, seq=seq, entries=entries))
+
+    t0 = perf_counter()
+    merged = 0
+    for snap in snapshots:
+        if table.merge_snapshot(snap, link_delay=float(10 + snap.origin)):
+            merged += 1
+    elapsed = perf_counter() - t0
+
+    entries_folded = merged * (n_landmarks - 1)
+    rate = entries_folded / elapsed if elapsed > 0 else float("inf")
+    record_bench("routing_table_merge", {
+        "snapshots": merged,
+        "entries_folded": entries_folded,
+        "seconds": round(elapsed, 4),
+        "entries_per_second": round(rate, 1),
+    })
+    assert merged == n_rounds
+    assert len(table.entries()) >= n_landmarks - 6
+    assert rate > 10_000

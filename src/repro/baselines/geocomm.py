@@ -53,8 +53,12 @@ class GeoCommProtocol(UtilityProtocol):
         first = self._first_seen.get(nid)
         if first is None:
             return 0.0
-        elapsed_units = max(1, self._unit_of(t) - self._unit_of(first) + 1)
-        units = self._contact_units.get(nid, {}).get(dest, ())
+        unit = self.time_unit  # _unit_of inlined on this per-packet path
+        elapsed_units = int(t // unit) - int(first // unit) + 1
+        if elapsed_units < 1:
+            elapsed_units = 1
+        contacted = self._contact_units.get(nid)
+        units = contacted.get(dest, ()) if contacted is not None else ()
         return min(1.0, len(units) / elapsed_units)
 
     def utility(self, world: World, node: MobileNode, dest: int, t: float) -> float:

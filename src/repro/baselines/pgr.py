@@ -34,8 +34,11 @@ class PGRProtocol(UtilityProtocol):
         require_positive("horizon", horizon)
         self.horizon = int(horizon)
         self._pred: Dict[int, MarkovPredictor] = {}
-        # route cache invalidated whenever the node's location changes
-        self._route_cache: Dict[int, Tuple[Optional[int], List[Tuple[int, float]]]] = {}
+        # route cache invalidated whenever the node's location changes:
+        # node -> (position, route, first-occurrence dest -> cum prob)
+        self._route_cache: Dict[
+            int, Tuple[Optional[int], List[Tuple[int, float]], Dict[int, float]]
+        ] = {}
 
     def _predictor(self, nid: int) -> MarkovPredictor:
         p = self._pred.get(nid)
@@ -60,14 +63,17 @@ class PGRProtocol(UtilityProtocol):
         model has no information, and avoids immediate back-and-forth cycles
         by stopping when a landmark repeats.
         """
-        pred = self._predictor(node.nid)
-        cache = self._route_cache.get(node.nid)
-        here = node.at_landmark if node.at_landmark is not None else node.prev_landmark
+        nid = node.nid
+        here = node.at_landmark
+        if here is None:
+            here = node.prev_landmark
+        cache = self._route_cache.get(nid)
         if cache is not None and cache[0] == here:
             return cache[1]
+        pred = self._predictor(nid)
         route: List[Tuple[int, float]] = []
         if here is None or not pred.history:
-            self._route_cache[node.nid] = (here, route)
+            self._route_cache[nid] = (here, route, {})
             return route
         # walk a copy of the chain without mutating learned state
         sim = MarkovPredictor(1)
@@ -92,15 +98,26 @@ class PGRProtocol(UtilityProtocol):
                 break
             seen.add(lm)
             sim.history = sim.history + [lm]
-        self._route_cache[node.nid] = (here, route)
+        by_dest: Dict[int, float] = {}
+        for lm, cum in route:
+            if lm not in by_dest:
+                by_dest[lm] = cum
+        self._route_cache[nid] = (here, route, by_dest)
         return route
 
     # -- utility --------------------------------------------------------------------
     def utility(self, world: World, node: MobileNode, dest: int, t: float) -> float:
-        for lm, cum_prob in self.predicted_route(node):
-            if lm == dest:
-                return cum_prob
-        return 0.0
+        # inlined predicted_route cache hit + first-occurrence lookup: this
+        # runs once per (carrier, destination) pair at every push/contact
+        nid = node.nid
+        here = node.at_landmark
+        if here is None:
+            here = node.prev_landmark
+        cache = self._route_cache.get(nid)
+        if cache is None or cache[0] != here:
+            self.predicted_route(node)
+            cache = self._route_cache[nid]
+        return cache[2].get(dest, 0.0)
 
     def table_size(self, world: World, node: MobileNode) -> int:
         return max(1, len(self.predicted_route(node)))

@@ -112,6 +112,22 @@ class SimBetProtocol(UtilityProtocol):
         bet_norm = bet / max_pairs if max_pairs > 0 else 0.0
         return self.alpha * sim + (1.0 - self.alpha) * bet_norm
 
+    def _push_skip_sound(self, world: World, station: LandmarkStation) -> bool:
+        # betweenness deliberately refreshes only every ``recompute_every``
+        # contact-increments, and the counter resets *at call time* — so a
+        # skipped call can shift a later refresh across a contact-graph
+        # change.  Skipping is only sound when every incumbent's betweenness
+        # would have been a pure cache hit anyway.
+        cache = self._bet_cache
+        since = self._contacts_since
+        since_get = since.get
+        limit = self.recompute_every
+        for nd in world.connected_nodes(station):
+            nid = nd.nid
+            if nid not in cache or since_get(nid, 0) >= limit:
+                return False
+        return True
+
     def _compare_and_forward(
         self, world: World, holder: MobileNode, peer: MobileNode, t: float
     ) -> None:

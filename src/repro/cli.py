@@ -803,21 +803,27 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 f"in {site['count']} block(s)"
             )
 
-    if args.flamegraph:
-        if run.sampler is None:
-            print("--flamegraph needs the sampler; drop --no-sampler",
-                  file=sys.stderr)
-            return 2
-        n = write_flamegraph(run.sampler.samples, args.flamegraph)
-        print(f"flamegraph: {n} collapsed stacks -> {args.flamegraph}")
-    if args.span_tree:
-        with open(args.span_tree, "w", encoding="utf-8") as fh:
-            json.dump(tree, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"span tree -> {args.span_tree}")
-    if args.out:
-        write_profile(payload, args.out)
-        print(f"profile payload -> {args.out}")
+    try:
+        if args.flamegraph:
+            if run.sampler is None:
+                print("--flamegraph needs the sampler; drop --no-sampler",
+                      file=sys.stderr)
+                return 2
+            n = write_flamegraph(run.sampler.samples, args.flamegraph)
+            print(f"flamegraph: {n} collapsed stacks -> {args.flamegraph}")
+        if args.span_tree:
+            with open(args.span_tree, "w", encoding="utf-8") as fh:
+                json.dump(tree, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"span tree -> {args.span_tree}")
+        if args.out:
+            write_profile(payload, args.out)
+            print(f"profile payload -> {args.out}")
+    except OSError as exc:
+        # a bad --out/--span-tree/--flamegraph path is an operator error,
+        # not a crash: one line, exit 2, profiling results already printed
+        print(f"error: cannot write profile output: {exc}", file=sys.stderr)
+        return 2
 
     _maybe_record(args, ingest_profile, payload, label=run.label)
     return 0

@@ -68,6 +68,15 @@ class MarkovPredictor:
             defaultdict(dict) for _ in range(self.k)
         ]
         self._freq: Dict[int, int] = defaultdict(int)
+        # single-entry distribution memo keyed by (joint, history length,
+        # trailing-k context): counts/freq only ever change together with a
+        # history append (and PGR's chain simulator reassigns ``history``
+        # wholesale, growing it each step), so the key pins the exact state
+        # the cached distribution was computed from.  Treat the cached dict
+        # as read-only.
+        self._dist_cache: Optional[
+            Tuple[Tuple[bool, int, Tuple[int, ...]], Dict[int, float]]
+        ] = None
 
     # -- online updates ---------------------------------------------------------
     def update(self, landmark: int) -> None:
@@ -115,6 +124,15 @@ class MarkovPredictor:
         contexts, finally raw landmark frequency.  Returns ``{}`` when
         nothing is known.
         """
+        key = (joint, len(self.history), tuple(self.history[-self.k :]))
+        cached = self._dist_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        dist = self._compute_distribution(joint)
+        self._dist_cache = (key, dist)
+        return dist
+
+    def _compute_distribution(self, joint: bool) -> Dict[int, float]:
         orders = range(self.k, 0, -1) if self.fallback else (self.k,)
         for order in orders:
             nxt = self._distribution_for_order(order)

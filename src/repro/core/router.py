@@ -380,73 +380,107 @@ class DTNFlowProtocol(RoutingProtocol):
         t_start = perf_counter() if prof is not None else 0.0
         st = self._stations[station.lid]
         self._refresh_direct_links(st, t)
+        if not len(station.buffer):
+            if prof is not None:
+                prof.add("router.carrier_selection", perf_counter() - t_start)
+            return
         table = st.table
         sched = st.scheduler
+        cfg = self.config
+
+        # Per-call hoists: dead-ended status, accuracy, and predictor state
+        # are fixed for the duration of one forwarding pass (no learning
+        # happens while a station forwards), so carrier transit
+        # probabilities are memoized per (node, hop) instead of recomputed
+        # for every packet, and dead-ended nodes are filtered once.
+        states = self._nodes
+        carriers = [
+            (nd, cand)
+            for nd in nodes
+            if not (cand := states[nd.nid]).dead_ended
+        ]
+        prob_memo: Dict[tuple, float] = {}
+        prob_get = prob_memo.get
+        min_prob = cfg.min_carrier_prob
+
+        # the table is frozen for the duration of one pass, so the expected
+        # delay is one lookup per destination, not per packet
+        delay_memo: Dict[int, float] = {}
+        delay_memo_get = delay_memo.get
 
         def delay_of(p: Packet) -> float:
-            return table.delay_to(p.dst)
+            dst = p.dst
+            d = delay_memo_get(dst)
+            if d is None:
+                d = table.delay_to(dst)
+                delay_memo[dst] = d
+            return d
+
+        def best_carrier(hop: int, p: Packet):
+            chosen, chosen_prob = None, min_prob
+            for nd, cand in carriers:
+                if not nd.buffer.can_accept(p):
+                    continue
+                key = (nd.nid, hop)
+                prob = prob_get(key)
+                if prob is None:
+                    prob = cand.pred.probability_of(hop) * cand.acc.value
+                    prob_memo[key] = prob
+                if prob > chosen_prob:
+                    chosen, chosen_prob = nd, prob
+            return chosen, chosen_prob
 
         for p in sched.forwarding_order(station.buffer.packets(), delay_of, t):
+            dst = p.dst
             # node-destined packets wait at the destination node's landmark
             if (
-                self.config.enable_node_routing
+                cfg.enable_node_routing
                 and p.meta.get(META_DEST_NODE) is not None
-                and station.lid == p.dst
+                and station.lid == dst
             ):
                 continue
             # 1) direct delivery opportunity (IV-D.2)
-            if self.config.use_direct_delivery:
+            if cfg.use_direct_delivery:
                 best = None
                 best_prob = 0.0
-                for nd in nodes:
-                    cand = self._nodes[nd.nid]
-                    if cand.dead_ended:
-                        continue  # a dead-ended node is not going anywhere
-                    if cand.predicted == p.dst and nd.buffer.can_accept(p):
-                        prob = self._overall_transit_prob(cand, p.dst)
+                for nd, cand in carriers:
+                    if cand.predicted == dst and nd.buffer.can_accept(p):
+                        key = (nd.nid, dst)
+                        prob = prob_get(key)
+                        if prob is None:
+                            prob = cand.pred.probability_of(dst) * cand.acc.value
+                            prob_memo[key] = prob
                         if prob > best_prob:
                             best, best_prob = nd, prob
                 if best is not None:
-                    d = table.delay_to(p.dst)
+                    d = table.delay_to(dst)
                     if not math.isfinite(d):
-                        d = st.bw.expected_link_delay(p.dst)
-                    p.meta[META_NEXT_HOP] = p.dst
+                        d = st.bw.expected_link_delay(dst)
+                    p.meta[META_NEXT_HOP] = dst
                     p.meta[META_EXPECTED_DELAY] = d
                     p.meta[META_ASSIGNED_BY] = station.lid
                     world.station_to_node(station, best, p)
                     continue
             # 2) routing-table next hop
-            entry = table.lookup(p.dst)
+            entry = table.lookup(dst)
             if entry is None:
                 continue
             next_hop, exp_delay = entry.next_hop, entry.delay
-
-            def best_carrier(hop: int):
-                chosen, chosen_prob = None, self.config.min_carrier_prob
-                for nd in nodes:
-                    if self._nodes[nd.nid].dead_ended:
-                        continue  # a dead-ended node is not going anywhere
-                    if not nd.buffer.can_accept(p):
-                        continue
-                    prob = self._overall_transit_prob(self._nodes[nd.nid], hop)
-                    if prob > chosen_prob:
-                        chosen, chosen_prob = nd, prob
-                return chosen, chosen_prob
 
             # 3) carrier with the highest overall transit probability;
             #    when the primary link is overloaded (IV-E.3) and a *better*
             #    carrier toward the backup next hop is present, divert -
             #    the backup offloads the excess rather than replacing the
             #    primary outright
-            best, best_prob = best_carrier(next_hop)
+            best, best_prob = best_carrier(next_hop, p)
             if (
-                self.config.enable_load_balance
+                cfg.enable_load_balance
                 and entry.backup_next_hop is not None
                 and st.load.is_overloaded(next_hop)
-                and entry.backup_delay <= self.config.backup_delay_bound * entry.delay
+                and entry.backup_delay <= cfg.backup_delay_bound * entry.delay
                 and entry.backup_delay <= p.remaining_ttl(t)
             ):
-                alt, alt_prob = best_carrier(entry.backup_next_hop)
+                alt, alt_prob = best_carrier(entry.backup_next_hop, p)
                 # divert only the *excess*: packets for which no primary
                 # carrier is currently available but a backup carrier is
                 if best is None and alt is not None:

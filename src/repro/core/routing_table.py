@@ -73,6 +73,12 @@ class RoutingTable:
         self._entries: Dict[int, RouteEntry] = {}
         # freshest table seq seen per neighbour (staleness check)
         self._neighbor_seq: Dict[int, int] = {}
+        #: bumped on every entry mutation; memoized readers (the sorted
+        #: entries list here, per-packet lookups in the router/scheduler)
+        #: invalidate against it instead of recomputing per packet
+        self.version = 0
+        self._entries_cache_version = -1
+        self._entries_cache: List[RouteEntry] = []
 
     # -- local link updates -------------------------------------------------------
     def set_direct_link(self, neighbor: int, delay: float) -> None:
@@ -113,6 +119,7 @@ class RoutingTable:
                     backup_next_hop=backup_hop,
                     backup_delay=backup_delay,
                 )
+            self.version += 1
 
     # -- distance-vector merging ------------------------------------------------
     def merge_snapshot(self, snap: TableSnapshot, link_delay: float) -> bool:
@@ -146,6 +153,7 @@ class RoutingTable:
         cur = self._entries.get(dest)
         if cur is None:
             self._entries[dest] = RouteEntry(dest=dest, next_hop=via, delay=delay)
+            self.version += 1
             return
         if via == cur.next_hop:
             # fresher info over the same next hop replaces the delay outright
@@ -161,6 +169,7 @@ class RoutingTable:
                         dest=dest, next_hop=via, delay=delay,
                         backup_next_hop=backup_hop, backup_delay=backup_delay,
                     )
+                self.version += 1
             return
         if delay < self.switch_hysteresis * cur.delay:
             # clearly better: new primary; old primary becomes the backup
@@ -168,11 +177,13 @@ class RoutingTable:
                 dest=dest, next_hop=via, delay=delay,
                 backup_next_hop=cur.next_hop, backup_delay=cur.delay,
             )
+            self.version += 1
         elif via == cur.backup_next_hop or delay < cur.backup_delay:
             self._entries[dest] = RouteEntry(
                 dest=dest, next_hop=cur.next_hop, delay=cur.delay,
                 backup_next_hop=via, backup_delay=delay,
             )
+            self.version += 1
 
     # -- queries --------------------------------------------------------------------
     def lookup(self, dest: int) -> Optional[RouteEntry]:
@@ -198,7 +209,10 @@ class RoutingTable:
         return len(self._entries)
 
     def entries(self) -> List[RouteEntry]:
-        return [self._entries[d] for d in sorted(self._entries)]
+        if self._entries_cache_version != self.version:
+            self._entries_cache = [self._entries[d] for d in sorted(self._entries)]
+            self._entries_cache_version = self.version
+        return list(self._entries_cache)
 
     # -- snapshots -----------------------------------------------------------------
     def snapshot(self, seq: int) -> TableSnapshot:
@@ -237,7 +251,8 @@ class RoutingTable:
     # -- loop correction support (Section IV-E.2) -----------------------------------
     def drop_destination(self, dest: int) -> None:
         """Forget the route to ``dest`` (used when correcting loops)."""
-        self._entries.pop(dest, None)
+        if self._entries.pop(dest, None) is not None:
+            self.version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rows = ", ".join(

@@ -23,6 +23,7 @@ used by the DTN-FLOW protocol whenever it moves packets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.sim.packets import Packet
@@ -106,13 +107,20 @@ class CommScheduler:
         ``urgent`` (default, the paper's rule): minimal remaining TTL first;
         ``fifo``: packet-id (arrival) order.
         """
-        feasible = [
-            p for p in packets if self.feasible(p, expected_delay_of(p), now)
-        ]
-        if self.config.priority == "urgent":
-            feasible.sort(key=lambda p: (p.remaining_ttl(now), p.pid))
+        if self.config.feasibility_check:
+            # inlined self.feasible(): this runs once per queued packet per
+            # forwarding pass (p.deadline - now is remaining_ttl verbatim)
+            feasible = [p for p in packets if expected_delay_of(p) <= p.deadline - now]
         else:
-            feasible.sort(key=lambda p: p.pid)
+            feasible = list(packets)
+        if len(feasible) > 1:
+            if self.config.priority == "urgent":
+                # (deadline - now, pid) orders identically to (deadline, pid)
+                # for a fixed `now`; the C-level key avoids a lambda call per
+                # packet on every forwarding pass
+                feasible.sort(key=attrgetter("deadline", "pid"))
+            else:
+                feasible.sort(key=attrgetter("pid"))
         return feasible
 
     def upload_priority(

@@ -12,7 +12,8 @@ which is how limited memory throttles throughput in the experiments.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional
+from heapq import heappop, heappush
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.packets import Packet
 from repro.utils.validation import require_positive
@@ -21,11 +22,20 @@ from repro.utils.validation import require_positive
 class PacketBuffer:
     """A capacity-limited packet store keyed by packet id.
 
+    Alongside the id-keyed store, the buffer keeps a lazy min-heap of
+    ``(deadline, pid)`` pairs so the engine's per-event expiry sweep is an
+    O(1) peek in the (overwhelmingly common) case where nothing has expired
+    yet.  Entries for removed packets are left in the heap and discarded
+    when they surface — replicas share their original's pid *and* deadline,
+    so a surviving pid always vouches for the deadline stored with it.
+
     Parameters
     ----------
     capacity_bytes:
         Maximum total packet bytes held; ``math.inf`` for landmark stations.
     """
+
+    __slots__ = ("capacity_bytes", "_packets", "_used", "_expiry")
 
     def __init__(self, capacity_bytes: float = math.inf) -> None:
         if capacity_bytes != math.inf:
@@ -33,6 +43,7 @@ class PacketBuffer:
         self.capacity_bytes = capacity_bytes
         self._packets: Dict[int, Packet] = {}
         self._used = 0
+        self._expiry: List[Tuple[float, int]] = []
 
     # -- capacity --------------------------------------------------------------
     @property
@@ -44,16 +55,23 @@ class PacketBuffer:
         return self.capacity_bytes - self._used
 
     def can_accept(self, packet: Packet) -> bool:
-        return packet.size <= self.free_bytes and packet.pid not in self._packets
+        # free_bytes inlined: this runs for every (packet, candidate) pair
+        # during carrier selection
+        return (
+            packet.size <= self.capacity_bytes - self._used
+            and packet.pid not in self._packets
+        )
 
     # -- mutation ---------------------------------------------------------------
     def add(self, packet: Packet) -> bool:
         """Insert ``packet``; returns False (and leaves state unchanged) when
         it does not fit or is already present."""
-        if not self.can_accept(packet):
+        pid = packet.pid
+        if packet.size > self.capacity_bytes - self._used or pid in self._packets:
             return False
-        self._packets[packet.pid] = packet
+        self._packets[pid] = packet
         self._used += packet.size
+        heappush(self._expiry, (packet.deadline, pid))
         return True
 
     def remove(self, pid: int) -> Optional[Packet]:
@@ -64,8 +82,27 @@ class PacketBuffer:
         return p
 
     def pop_expired(self, now: float) -> List[Packet]:
-        """Remove and return all packets past their deadline at ``now``."""
-        dead = [p for p in self._packets.values() if p.expired(now)]
+        """Remove and return all packets past their deadline at ``now``.
+
+        Fast path: peek the expiry heap (dropping stale entries for packets
+        no longer held) and return immediately when the earliest surviving
+        deadline has not passed.  The slow path scans in insertion order so
+        the emitted drop sequence is identical to the historical full scan.
+        """
+        expiry = self._expiry
+        packets = self._packets
+        while expiry:
+            deadline, pid = expiry[0]
+            live = packets.get(pid)
+            if live is None or live.deadline != deadline:
+                heappop(expiry)  # removed, or re-added with a new deadline
+                continue
+            if now > deadline:
+                break
+            return []
+        else:
+            return []
+        dead = [p for p in packets.values() if now > p.deadline]
         for p in dead:
             self.remove(p.pid)
         return dead
@@ -75,6 +112,7 @@ class PacketBuffer:
         out = list(self._packets.values())
         self._packets.clear()
         self._used = 0
+        self._expiry.clear()
         return out
 
     # -- queries ---------------------------------------------------------------

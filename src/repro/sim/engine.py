@@ -169,8 +169,15 @@ class World:
             else None
         )
         self._faults_active = self.faults is not None
+        #: link rate pinned on the world so the per-transfer charge path pays
+        #: one attribute read, not a config-object walk
+        self._rate = config.link_rate_bytes_per_sec
         # per-visit link-degradation factor (1.0 = healthy link)
         self._visit_factor: Dict[int, float] = {}
+        # station lid -> memoized sorted connected-node list; dropped on
+        # every connect/disconnect (protocols call connected_nodes several
+        # times per event, and sorting dominates the lookup)
+        self._conn_sorted: Dict[int, List[MobileNode]] = {}
         if self._faults_active:
             reg = self.obs.registry
             self._ctr_blocked = reg.counter("faults.blocked_transfers")
@@ -183,7 +190,12 @@ class World:
         return self.trace.landmarks
 
     def connected_nodes(self, station: LandmarkStation) -> List[MobileNode]:
-        return [self.nodes[n] for n in sorted(station.connected)]
+        cached = self._conn_sorted.get(station.lid)
+        if cached is None:
+            nodes = self.nodes
+            cached = [nodes[n] for n in sorted(station.connected)]
+            self._conn_sorted[station.lid] = cached
+        return cached
 
     # -- fault queries ----------------------------------------------------------
     def station_available(self, lid: int) -> bool:
@@ -225,6 +237,10 @@ class World:
     # -- expiry -----------------------------------------------------------------
     def drop_expired_in(self, holder) -> None:
         dead = holder.buffer.pop_expired(self.now)
+        if not dead:
+            # the overwhelmingly common case: the buffer's expiry-heap peek
+            # found nothing past deadline, at O(1) instead of a full scan
+            return
         n_real = 0
         for p in dead:
             # multi-copy protocols leave replicas behind; a packet only
@@ -246,18 +262,20 @@ class World:
 
     # -- link budget ---------------------------------------------------------------
     def begin_visit_budget(self, node: MobileNode, duration: float) -> None:
+        if not self._faults_active and self._rate is None:
+            return  # nothing to track: unlimited, undegraded links
         factor = 1.0
         if self._faults_active and node.at_landmark is not None:
             factor = self.faults.link_factor(node.at_landmark, self.now)
             self._visit_factor[node.nid] = factor
-        rate = self.config.link_rate_bytes_per_sec
+        rate = self._rate
         if rate is not None:
             # link degradation shrinks this visit's transfer budget
             self._visit_budget[node.nid] = max(0.0, duration) * rate * factor
 
     def link_budget_remaining(self, node: MobileNode) -> float:
         """Bytes still transferable this visit (inf when rate-unlimited)."""
-        if self.config.link_rate_bytes_per_sec is None:
+        if self._rate is None:
             if self._faults_active and self._visit_factor.get(node.nid, 1.0) <= 0.0:
                 return 0.0
             return math.inf
@@ -269,7 +287,7 @@ class World:
             # config models transfers as instantaneous (rate None)
             self._ctr_blocked.inc()
             return False
-        if self.config.link_rate_bytes_per_sec is None:
+        if self._rate is None:
             return True
         remaining = self._visit_budget.get(node.nid, 0.0)
         if size > remaining:
@@ -525,7 +543,10 @@ class Simulation:
             for edge in self.world.faults.edges:
                 events.append((edge.t, _FAULT_EDGE, counter, edge))
                 counter += 1
-        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        # tuple-native sort: sequence numbers are unique, so comparison never
+        # reaches the payload — identical order to the old (t, kind, seq) key
+        # without materializing a key object per event
+        events.sort()
         return events
 
     # -- handlers ------------------------------------------------------------------
@@ -535,6 +556,7 @@ class Simulation:
         station = self.world.stations[node.at_landmark]
         self.protocol.on_visit_end(self.world, node, station, t)
         station.connected.discard(node.nid)
+        self.world._conn_sorted.pop(station.lid, None)
         node.prev_landmark = node.at_landmark
         node.at_landmark = None
         node.last_depart = t
@@ -581,6 +603,7 @@ class Simulation:
         node.visit_started = t
         node.visit_until = rec.end
         station.connected.add(node.nid)
+        world._conn_sorted.pop(station.lid, None)
         world.begin_visit_budget(node, rec.end - t)
 
         world.drop_expired_in(node)
@@ -598,12 +621,11 @@ class Simulation:
         self.protocol.on_visit_start(world, node, station, t)
         if self.protocol.uses_contacts:
             p_contact = self.config.contact_prob
-            for other_id in sorted(station.connected):
-                if other_id == node.nid:
+            for other in world.connected_nodes(station):
+                if other.nid == node.nid:
                     continue
                 if p_contact < 1.0 and world.rng.random() >= p_contact:
                     continue
-                other = world.nodes[other_id]
                 self.protocol.on_contact(world, node, other, station, t)
 
     def _handle_visit_end(self, rec, t: float) -> None:
@@ -668,16 +690,22 @@ class Simulation:
             nodes = [rec.node(name, anchor) for name in self._DISPATCH_PHASES]
             acc = [0.0, 0.0, 0.0, 0.0, 0.0]
             cnt = [0, 0, 0, 0, 0]
+            # batch same-timestamp runs: the clock is written once per
+            # distinct timestamp and every co-timed edge drains in one pass
+            last_t = None
+            clock = perf_counter
             try:
                 for t, kind, _, payload in events:
-                    world.now = t
+                    if t != last_t:
+                        world.now = t
+                        last_t = t
                     rec.current = nodes[kind]
-                    t0 = perf_counter()
+                    t0 = clock()
                     if kind == _PROBE:
                         payload(world)
                     else:
                         handlers[kind](payload, t)
-                    acc[kind] += perf_counter() - t0
+                    acc[kind] += clock() - t0
                     cnt[kind] += 1
             finally:
                 rec.current = anchor
@@ -685,8 +713,11 @@ class Simulation:
                 if cnt[kind]:
                     rec.fold(node, acc[kind], cnt[kind])
         else:
+            last_t = None
             for t, kind, _, payload in events:
-                world.now = t
+                if t != last_t:
+                    world.now = t
+                    last_t = t
                 if kind == _PROBE:
                     payload(world)
                 else:

@@ -24,7 +24,7 @@ from repro.utils.validation import require_non_negative, require_positive
 DEFAULT_PACKET_SIZE = 1024  # bytes (paper: 1 kB)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A single-copy data packet routed landmark-to-landmark."""
 
@@ -42,14 +42,15 @@ class Packet:
     meta: Dict[str, object] = field(default_factory=dict)
     delivered_at: Optional[float] = None
     dropped_at: Optional[float] = None
+    #: absolute expiry time; derived from ``created + ttl`` once at
+    #: construction — neither field is ever mutated afterwards, and the
+    #: expiry check runs on every event, so it must not re-add floats
+    deadline: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         require_positive("ttl", self.ttl)
         require_positive("size", self.size)
-
-    @property
-    def deadline(self) -> float:
-        return self.created + self.ttl
+        self.deadline = self.created + self.ttl
 
     def expired(self, now: float) -> bool:
         return now > self.deadline
@@ -89,7 +90,7 @@ class Packet:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GenerationEvent:
     """A scheduled packet birth: at ``time``, at landmark ``src``, to ``dst``."""
 
@@ -117,9 +118,16 @@ def generate_workload(
     require_non_negative("rate_per_landmark_per_day", rate_per_landmark_per_day)
     if end < start:
         raise ValueError(f"end ({end}) before start ({start})")
-    events: List[GenerationEvent] = []
     span_days = (end - start) / SECONDS_PER_DAY
     lam = rate_per_landmark_per_day * span_days
+    # Draw every landmark's batch first (same RNG call sequence as the
+    # historical per-event loop), then assemble and order the whole workload
+    # with one stable argsort instead of building objects pre-sort.  A stable
+    # sort on times matches the old ``events.sort(key=...)`` exactly, ties
+    # included, because batches are concatenated in generation order.
+    time_parts: List[np.ndarray] = []
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
     for src in landmarks:
         n = int(rng.poisson(lam)) if lam > 0 else 0
         if n == 0:
@@ -133,12 +141,21 @@ def generate_workload(
         if not cands:
             continue
         picks = rng.integers(0, len(cands), n)
-        events.extend(
-            GenerationEvent(time=float(t), src=src, dst=cands[int(i)])
-            for t, i in zip(times, picks)
+        time_parts.append(times)
+        src_parts.append(np.full(n, src, dtype=np.int64))
+        dst_parts.append(np.asarray(cands, dtype=np.int64)[picks])
+    if not time_parts:
+        return []
+    all_times = np.concatenate(time_parts)
+    order = np.argsort(all_times, kind="stable")
+    return [
+        GenerationEvent(time=t, src=s, dst=d)
+        for t, s, d in zip(
+            all_times[order].tolist(),
+            np.concatenate(src_parts)[order].tolist(),
+            np.concatenate(dst_parts)[order].tolist(),
         )
-    events.sort(key=lambda e: e.time)
-    return events
+    ]
 
 
 class PacketFactory:

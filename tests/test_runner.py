@@ -320,3 +320,82 @@ class TestFailureContainment:
             run_point_specs([entry], jobs=2, timeout=0)
         with pytest.raises(ValueError, match="timeout"):
             run_point_specs([entry], jobs=2, timeout=-5.0)
+
+
+# -- slotted-entity pickling (the hot-path overhaul removed __dict__) ---------------
+
+def _pool_roundtrip(obj):
+    """Worker-side identity function for process-pool pickling checks."""
+    return obj
+
+
+class TestSlottedEntityPickle:
+    """``__slots__`` entities must still cross the process-pool boundary.
+
+    The parallel executor ships traces (and, through futures, anything a
+    worker returns) via pickle; slotted classes have no ``__dict__``, so a
+    missed slot in pickling support would surface as silently dropped
+    state on the worker side.
+    """
+
+    def _packet(self):
+        from repro.sim.packets import Packet
+
+        p = Packet(pid=7, src=1, dst=2, created=100.0, ttl=500.0, size=2048)
+        p.hops = 3
+        p.visited.extend([1, 4])
+        p.meta["next_hop"] = 4
+        return p
+
+    def test_packet_round_trip(self):
+        p = self._packet()
+        clone = pickle.loads(pickle.dumps(p))
+        assert (clone.pid, clone.src, clone.dst) == (7, 1, 2)
+        assert clone.hops == 3
+        assert clone.visited == [1, 4]
+        assert clone.meta == {"next_hop": 4}
+        assert clone.deadline == p.deadline  # derived slot survives too
+
+    def test_node_station_buffer_round_trip(self):
+        from repro.sim.entities import LandmarkStation, MobileNode
+
+        node = MobileNode(nid=3, memory_bytes=10_000.0)
+        node.at_landmark = 5
+        node.n_transits = 9
+        node.buffer.add(self._packet())
+        station = LandmarkStation(lid=5)
+        station.connected.add(3)
+
+        n2 = pickle.loads(pickle.dumps(node))
+        assert (n2.nid, n2.at_landmark, n2.n_transits) == (3, 5, 9)
+        assert len(n2.buffer) == 1 and 7 in n2.buffer
+        assert n2.buffer.used_bytes == node.buffer.used_bytes
+
+        s2 = pickle.loads(pickle.dumps(station))
+        assert s2.lid == 5 and s2.connected == {3}
+
+    def test_entities_through_process_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.sim.entities import MobileNode
+
+        node = MobileNode(nid=1, memory_bytes=5_000.0)
+        node.buffer.add(self._packet())
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            back_node = pool.submit(_pool_roundtrip, node).result(timeout=60)
+            back_packet = pool.submit(_pool_roundtrip, self._packet()).result(timeout=60)
+        assert len(back_node.buffer) == 1
+        assert back_node.buffer.used_bytes == node.buffer.used_bytes
+        assert back_packet.deadline == 600.0
+
+    def test_trace_getstate_stays_lean(self, tiny_trace):
+        # the replay cache and sorted indexes must not inflate the payload
+        # the executor ships per worker: state is the records + name only,
+        # and the pickle is no bigger than pickling the records directly
+        # (plus a small constant for the class envelope)
+        tiny_trace.replay_events(2, 0)  # warm the cache
+        state = tiny_trace.__getstate__()
+        assert set(state) == {"name", "records"}
+        payload = len(pickle.dumps(tiny_trace))
+        records_only = len(pickle.dumps(tiny_trace.records))
+        assert payload <= records_only + 512
