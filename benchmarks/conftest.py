@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import time
 from time import perf_counter
 from typing import Dict
@@ -106,6 +107,9 @@ def pytest_sessionfinish(session, exitstatus):
         "suite": "benchmarks",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "suite_seconds": round(perf_counter() - _SESSION_T0, 3),
+        # ru_maxrss is kB on Linux: peak RSS of this benchmark session, so
+        # "memory stays bounded" claims are measured rather than asserted
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "jobs": str(session.config.getoption("--jobs", default="1")),
         "cpu_count": os.cpu_count(),
         "full_scale": full_scale(),

@@ -1,0 +1,108 @@
+"""Sharded-engine scale benchmark: a 100k-node, 200-landmark run.
+
+The acceptance case for the subarea-sharded architecture
+(docs/scaling.md): a synthetic campus trace far past what the serial
+engine can comfortably materialize — 100,000 nodes over 200 landmarks,
+~2M visit records — runs sharded in streaming mode (records are never
+materialized in the coordinator; each shard filters the record stream
+itself) and completes with peak RSS bounded.  Wall clock, peak RSS of
+the coordinator and every shard, and the transit/epoch topology are
+recorded into ``BENCH_sweeps.json`` via the conftest recorder.
+
+By default a 10k-node slice keeps the suite fast; ``REPRO_FULL_SCALE=1``
+runs the full 100k-node population (several minutes).
+"""
+
+from __future__ import annotations
+
+import resource
+from time import perf_counter
+
+from repro.eval.config import full_scale
+from repro.eval.sharded import run_sharded_point
+from repro.mobility.synthetic import CampusConfig, CampusMobilityModel
+from repro.sim.engine import SimConfig
+
+from .conftest import record_bench
+
+N_NODES = 100_000 if full_scale() else 10_000
+N_SHARDS = 4
+SEED = 11
+
+#: 40 departments x 3 buildings + 50 dorms + 15 dining + 14 misc + library
+#: = 200 landmarks
+CAMPUS = CampusConfig(
+    n_nodes=N_NODES,
+    n_departments=40,
+    buildings_per_department=3,
+    n_dorms=50,
+    n_dining=15,
+    n_misc=14,
+    days=3,
+    holidays=(),
+)
+
+#: bytes per process allowed at 100k nodes; the serial engine's
+#: materialized trace alone (~2M VisitRecords plus replay cache) exceeds
+#: this before any simulation state
+RSS_BUDGET_KB = 4_000_000
+
+
+def test_sharded_streaming_scale_run():
+    assert CAMPUS.n_landmarks == 200
+    model = CampusMobilityModel(CAMPUS, seed=SEED)
+    stream = model.trace_stream(f"campus-{N_NODES // 1000}k")
+    config = SimConfig(
+        seed=SEED,
+        rate_per_landmark_per_day=20.0,
+        workload_scale=0.1,
+        node_memory_kb=2000.0,
+        generation_end_fraction=0.6,
+    )
+
+    t0 = perf_counter()
+    result, info = run_sharded_point(
+        stream, "DTN-FLOW", config,
+        shards=N_SHARDS, memory_kb=2000.0, rate=20.0, seed=SEED,
+        source_factory=stream.iter_records,
+    )
+    wall = perf_counter() - t0
+
+    m = result.metrics
+    execution = info["execution"]
+    rss = info["max_rss_kb"]
+    assert execution["mode"] == "sharded"
+    assert execution["shards"] == N_SHARDS
+    assert m.generated > 0
+    assert info["n_events"] > 0
+
+    # the point of the exercise: every process stays within budget even
+    # at 100k nodes (the shards hold only their subarea's visitors)
+    peak = max([rss["coordinator"], *rss["shards"]])
+    assert peak < RSS_BUDGET_KB, (
+        f"peak RSS {peak} kB blows the {RSS_BUDGET_KB} kB budget"
+    )
+
+    record_bench("sharded_scale", {
+        "n_nodes": N_NODES,
+        "n_landmarks": CAMPUS.n_landmarks,
+        "shards": N_SHARDS,
+        "full_scale": full_scale(),
+        "wall_seconds": round(wall, 2),
+        "events": info["n_events"],
+        "epochs": execution["epochs"],
+        "cross_shard_transits": execution["cross_shard_transits"],
+        "generated": m.generated,
+        "delivered": m.delivered,
+        "max_rss_kb": rss,
+        "harness_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    })
+
+    print(
+        f"\n{N_NODES} nodes / {CAMPUS.n_landmarks} landmarks / "
+        f"{N_SHARDS} shards: {wall:.1f}s wall, "
+        f"{info['n_events']} events, {execution['epochs']} epochs, "
+        f"{execution['cross_shard_transits']} cross-shard transits, "
+        f"peak RSS {peak / 1024:.0f} MB "
+        f"(coordinator {rss['coordinator'] / 1024:.0f} MB)"
+    )

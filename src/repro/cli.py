@@ -213,6 +213,7 @@ def _print_scenario_result(res: ScenarioResult) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    shards = args.shards if args.shards is not None and args.shards >= 2 else None
     if args.scenario:
         spec = _load_scenario_arg(args.scenario)
         if spec.n_points() != 1:
@@ -223,7 +224,14 @@ def cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+        if shards is None and spec.shards is not None:
+            shards = spec.shards
+        if shards is not None:
+            from repro.eval.sharded import run_scenario_sharded
+
+            res, _infos = run_scenario_sharded(spec, shards=shards)
+        else:
+            res = run_scenario(spec, jobs=parse_jobs(args.jobs))
         _maybe_record(args, ingest_scenario_result, res, kind="run")
         result = res.results[0].metrics
         point = res.points[0]
@@ -238,9 +246,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     point = PointSpec(
         protocol=args.protocol, memory_kb=args.memory, rate=args.rate, seed=args.seed
     )
-    results = run_points(
-        trace, profile, [point], jobs=parse_jobs(args.jobs), trace_spec=tspec
-    )
+    if shards is not None:
+        from repro.eval.runner import point_scenario_dict
+        from repro.eval.sharded import execute_point_sharded
+
+        config = profile.sim_config(
+            memory_kb=point.memory_kb, rate=point.rate, seed=point.seed
+        )
+        point = dataclasses.replace(
+            point, scenario=point_scenario_dict(tspec, point, config)
+        )
+        sharded_result, _info = execute_point_sharded(
+            trace, point, config, shards=shards
+        )
+        results = [sharded_result]
+    else:
+        results = run_points(
+            trace, profile, [point], jobs=parse_jobs(args.jobs), trace_spec=tspec
+        )
     _maybe_record(
         args, ingest_experiment_results, results,
         kind="run", label=f"run:{args.protocol}",
@@ -457,7 +480,28 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         print(spec.to_json())
         return 0
     # action == "run"
-    res = run_scenario(spec, jobs=parse_jobs(args.jobs))
+    shards = args.shards if args.shards is not None else spec.shards
+    if shards is not None and shards >= 2:
+        from repro.eval.sharded import run_scenario_sharded
+
+        res, infos = run_scenario_sharded(spec, shards=shards)
+        if args.span_tree:
+            tree_payload = [
+                {
+                    "protocol": point.protocol,
+                    "seed": point.seed,
+                    "execution": info.get("execution"),
+                    "span_tree": info.get("span_tree"),
+                }
+                for point, info in zip(res.points, infos)
+            ]
+            with open(args.span_tree, "w", encoding="utf-8") as fh:
+                json.dump(tree_payload, fh, indent=2, sort_keys=True)
+            print(f"wrote {len(tree_payload)} span trees to {args.span_tree}")
+    else:
+        if shards is not None:
+            print(f"--shards {shards} < 2: running serially", file=sys.stderr)
+        res = run_scenario(spec, jobs=parse_jobs(args.jobs))
     _maybe_record(args, ingest_scenario_result, res)
     payload = res.as_dict()
     if args.out:
@@ -1102,6 +1146,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(p)
     add_scenario_opt(p)
     add_record(p)
+    p.add_argument("--shards", type=positive_int, default=None, metavar="N",
+                   help="split the run across N subarea-sharded processes "
+                        "(metrics identical to serial; see docs/scaling.md)")
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_run)
@@ -1205,6 +1252,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scenario JSON file(s) or preset name(s)")
     add_jobs(p)
     add_record(p)
+    p.add_argument("--shards", type=positive_int, default=None, metavar="N",
+                   help="(run) split every point across N subarea-sharded "
+                        "processes; overrides the manifest's 'shards' block "
+                        "(metrics identical to serial; see docs/scaling.md)")
+    p.add_argument("--span-tree", default=None, metavar="FILE",
+                   help="(run, with --shards) write each point's merged "
+                        "span tree and shard topology as JSON")
     p.add_argument("--out", default=None, metavar="FILE",
                    help="(run) write the full results JSON to FILE")
     p.add_argument("--json", action="store_true",

@@ -28,13 +28,15 @@ order-2/3, as the paper observes in Fig. 6(a).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mobility.parsers import ApSighting, RawAssociation
 from repro.mobility.preprocess import PreprocessPipeline
+from repro.mobility.stream import TraceStream
 from repro.mobility.trace import SECONDS_PER_DAY, Trace, VisitRecord, hours
 from repro.utils.validation import require_positive
 
@@ -118,6 +120,7 @@ class CampusMobilityModel:
         cfg = self.config
         require_positive("n_nodes", cfg.n_nodes)
         require_positive("days", cfg.days)
+        self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
 
         # --- landmark layout ------------------------------------------------
@@ -165,7 +168,9 @@ class CampusMobilityModel:
             self.node_spoke_weights.append(w)
 
     # -- construction helpers --------------------------------------------------
-    def _day_sequence(self, node: int) -> List[int]:
+    def _day_sequence(
+        self, node: int, rng: Optional[np.random.Generator] = None
+    ) -> List[int]:
         """One day's landmark sequence: dorm -> (hub -> spoke)* -> dorm.
 
         Spokes are drawn from the node's personal weights; with probability
@@ -176,7 +181,8 @@ class CampusMobilityModel:
         reproducing the paper's k=1 superiority (Fig. 6a).
         """
         cfg = self.config
-        rng = self.rng
+        if rng is None:
+            rng = self.rng
         dorm = int(self.node_dorm[node])
         hub = int(self.node_hub[node])
         spokes = self.node_spokes[node]
@@ -248,6 +254,79 @@ class CampusMobilityModel:
                     travel = rng.uniform(4 * 60, 18 * 60)
                     t += dwell + travel
         return sorted(records)
+
+    # -- streaming generation -------------------------------------------------------
+    def _node_day_records(
+        self, node: int, day: int, rng: np.random.Generator
+    ) -> List[VisitRecord]:
+        """One node's visit records for one day (same scheme as
+        :meth:`generate_visits`, driven by the given RNG)."""
+        cfg = self.config
+        act = self._activity(day)
+        if rng.random() > act and act < 1.0:
+            t0 = day * SECONDS_PER_DAY + hours(9) + rng.uniform(0, hours(2))
+            return [
+                VisitRecord(
+                    start=t0,
+                    end=t0 + hours(10),
+                    node=node,
+                    landmark=int(self.node_dorm[node]),
+                )
+            ]
+        records: List[VisitRecord] = []
+        t = day * SECONDS_PER_DAY + hours(7.5) + rng.uniform(0, hours(1.5))
+        for lm in self._day_sequence(node, rng=rng):
+            dwell = float(rng.lognormal(mean=np.log(hours(1.0)), sigma=0.5))
+            dwell = min(dwell, hours(4))
+            records.append(
+                VisitRecord(start=t, end=t + dwell, node=node, landmark=int(lm))
+            )
+            travel = rng.uniform(4 * 60, 18 * 60)
+            t += dwell + travel
+        return records
+
+    def _node_visit_stream(self, node: int) -> Iterator[VisitRecord]:
+        """One node's records as a nondecreasing generator.
+
+        Each node draws from its own RNG stream (``SeedSequence(seed,
+        spawn_key=(node,))`` — the spawned child sequence of the model
+        seed), so nodes can be generated independently and lazily.  A busy
+        day can spill past midnight, so records are held in a small heap
+        and released only once no later day can start before them (day
+        ``d+1`` never starts before ``(d+1) * 86400 + 7.5 h``).
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(node,))
+        )
+        pending: List[VisitRecord] = []
+        for day in range(self.config.days):
+            for rec in self._node_day_records(node, day, rng):
+                heapq.heappush(pending, rec)
+            horizon = (day + 1) * SECONDS_PER_DAY + hours(7.5)
+            while pending and pending[0].start < horizon:
+                yield heapq.heappop(pending)
+        while pending:
+            yield heapq.heappop(pending)
+
+    def stream_visits(self) -> Iterator[VisitRecord]:
+        """Clean visit records as one time-ordered generator.
+
+        Streaming counterpart of :meth:`generate_visits`: per-node record
+        generators merged with ``heapq.merge``, holding O(nodes) records in
+        memory instead of the whole trace.  Uses per-node spawned RNG
+        streams, so the records differ from the single-RNG
+        :meth:`generate_visits` draw order — same distribution, different
+        sample; committed baselines built on ``generate_visits`` are
+        untouched.  Deterministic in the model seed: same seed, same
+        sequence, whether consumed lazily or materialized.
+        """
+        return heapq.merge(
+            *(self._node_visit_stream(n) for n in range(self.config.n_nodes))
+        )
+
+    def trace_stream(self, name: str = "campus-stream") -> TraceStream:
+        """The streamed visits as a re-iterable :class:`TraceStream`."""
+        return TraceStream.from_source(self.stream_visits, name=name)
 
     def generate_raw_log(self) -> List[RawAssociation]:
         """Emit a DART-style raw association log with realistic defects.
@@ -355,6 +434,7 @@ class BusMobilityModel:
         self.config = config or BusConfig()
         cfg = self.config
         require_positive("n_buses", cfg.n_buses)
+        self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
 
         # --- stop geography: jittered grid around Amherst, MA --------------------
@@ -504,6 +584,102 @@ class BusMobilityModel:
                         )
                         t += stay
         return sorted(out, key=lambda s: (s.start, s.node))
+
+    # -- streaming generation -------------------------------------------------------
+    def _bus_visit_stream(self, bus: int) -> Iterator[VisitRecord]:
+        """One bus's *clean* stop visits as a nondecreasing generator.
+
+        Landmark ids are stop indices (``0..n_stops-1``) plus garage
+        landmarks at ``n_stops + g``.  The motion model matches
+        :meth:`generate_sightings` (rostering, direction preference,
+        breakdowns, garage trips) but skips the radio-log defects (missed
+        and overlapping sightings) — this is the mobility ground truth the
+        preprocessing pipeline tries to recover.  Driven by the bus's own
+        spawned RNG stream so buses generate independently; a breakdown or
+        garage stay can spill past the service day, so records are released
+        through a small heap once no later day can precede them.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(bus,))
+        )
+        main_route = self.bus_route[bus]
+        if cfg.shared_garage:
+            garage_lm = cfg.n_stops
+        else:
+            garage_lm = cfg.n_stops + main_route % len(self.garage_aps)
+        pos = int(rng.integers(0, 32))
+        preferred_reverse = (bus // max(1, cfg.n_routes)) % 2 == 1
+        pending: List[VisitRecord] = []
+        for day in range(cfg.days):
+            if cfg.n_routes > 1 and rng.random() >= cfg.main_route_prob:
+                others = [r for r in range(cfg.n_routes) if r != main_route]
+                route = self.routes[others[int(rng.integers(0, len(others)))]]
+            else:
+                route = self.routes[main_route]
+            reverse = preferred_reverse == (rng.random() < cfg.direction_consistency)
+            if reverse:
+                route = route[::-1]
+            t = day * SECONDS_PER_DAY + hours(cfg.service_start_hour)
+            t += rng.uniform(0, 1200)
+            day_end = day * SECONDS_PER_DAY + hours(cfg.service_end_hour)
+            garage_step = -1
+            if rng.random() < cfg.garage_prob:
+                garage_step = int(rng.integers(5, 30))
+            breakdown_step = -1
+            if rng.random() < cfg.breakdown_prob:
+                breakdown_step = int(rng.integers(5, 30))
+            step = 0
+            while t < day_end:
+                stop = route[pos % len(route)]
+                dwell = rng.uniform(*cfg.dwell_range)
+                heapq.heappush(
+                    pending,
+                    VisitRecord(start=t, end=t + dwell, node=bus, landmark=stop),
+                )
+                t += dwell + rng.uniform(*cfg.travel_range)
+                pos += 1
+                step += 1
+                if step == breakdown_step:
+                    stall = rng.uniform(*cfg.breakdown_stay_range)
+                    stop_now = route[pos % len(route)]
+                    heapq.heappush(
+                        pending,
+                        VisitRecord(
+                            start=t, end=t + stall, node=bus, landmark=stop_now
+                        ),
+                    )
+                    t += stall
+                if step == garage_step:
+                    stay = rng.uniform(*cfg.garage_stay_range)
+                    heapq.heappush(
+                        pending,
+                        VisitRecord(
+                            start=t, end=t + stay, node=bus, landmark=garage_lm
+                        ),
+                    )
+                    t += stay
+            horizon = (day + 1) * SECONDS_PER_DAY + hours(cfg.service_start_hour)
+            while pending and pending[0].start < horizon:
+                yield heapq.heappop(pending)
+        while pending:
+            yield heapq.heappop(pending)
+
+    def stream_visits(self) -> Iterator[VisitRecord]:
+        """Clean stop-level visits for the whole fleet, time-ordered.
+
+        Per-bus generators merged with ``heapq.merge`` — the streaming
+        counterpart of the ``generate_sightings`` -> preprocessing path,
+        minus the log defects.  Deterministic in the model seed and
+        independent of ``generate_sightings``'s RNG consumption.
+        """
+        return heapq.merge(
+            *(self._bus_visit_stream(b) for b in range(self.config.n_buses))
+        )
+
+    def trace_stream(self, name: str = "bus-stream") -> TraceStream:
+        """The streamed fleet visits as a re-iterable :class:`TraceStream`."""
+        return TraceStream.from_source(self.stream_visits, name=name)
 
 
 # ---------------------------------------------------------------------------

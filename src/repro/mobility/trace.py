@@ -72,6 +72,11 @@ class Trace:
         Visit records in any order; they are sorted on construction.
     name:
         Human-readable label ("DART-like", "DNET-like", ...).
+    presorted:
+        Promise that ``records`` is already in sorted order, skipping the
+        O(n log n) re-sort.  Unpickling uses this (``__getstate__`` ships
+        the already-sorted list), so every pool worker pays O(n), not
+        O(n log n), per trace.
 
     Notes
     -----
@@ -80,8 +85,16 @@ class Trace:
     :func:`repro.mobility.preprocess.relabel_compact` to compact them.
     """
 
-    def __init__(self, records: Iterable[VisitRecord], name: str = "trace") -> None:
-        self._records: List[VisitRecord] = sorted(records)
+    def __init__(
+        self,
+        records: Iterable[VisitRecord],
+        name: str = "trace",
+        *,
+        presorted: bool = False,
+    ) -> None:
+        self._records: List[VisitRecord] = (
+            list(records) if presorted else sorted(records)
+        )
         self.name = name
         self._nodes = tuple(sorted({r.node for r in self._records}))
         self._landmarks = tuple(sorted({r.landmark for r in self._records}))
@@ -104,7 +117,9 @@ class Trace:
         return {"name": self.name, "records": self._records}
 
     def __setstate__(self, state: Dict[str, object]) -> None:
-        self.__init__(state["records"], name=state["name"])  # type: ignore[arg-type]
+        self.__init__(  # type: ignore[misc]
+            state["records"], name=state["name"], presorted=True  # type: ignore[arg-type]
+        )
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:

@@ -73,6 +73,10 @@ class RunProvenance:
     #: the resolved scenario this run materialized from (repro.eval.scenario);
     #: ``repro rerun`` rebuilds a bit-identical run from this dict alone
     scenario: Optional[Dict[str, Any]] = None
+    #: how the run was executed (shard topology, fallback reasons); purely
+    #: descriptive — identical metrics regardless of its value — and thus
+    #: *excluded* from the scenario identity the experiment store hashes
+    execution: Optional[Dict[str, Any]] = None
     package_version: str = field(default_factory=package_version)
     python_version: str = field(default_factory=platform.python_version)
 
@@ -104,7 +108,7 @@ class RunProvenance:
         )
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "protocol": self.protocol,
             "trace": self.trace,
             "seed": self.seed,
@@ -113,3 +117,8 @@ class RunProvenance:
             "package_version": self.package_version,
             "python_version": self.python_version,
         }
+        # only stamped for sharded/fallback runs; absent keeps older
+        # provenance JSON byte-identical
+        if self.execution is not None:
+            out["execution"] = dict(self.execution)
+        return out

@@ -22,13 +22,15 @@ trace to construct routing tables).
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.mobility.stream import TraceStream
 from repro.mobility.trace import Trace, days
 from repro.obs import event_types as ev
 from repro.obs.provenance import RunProvenance
@@ -132,7 +134,10 @@ class World:
     """Mutable simulation state shared between the engine and the protocol."""
 
     def __init__(
-        self, trace: Trace, config: SimConfig, obs: Optional[Observability] = None
+        self,
+        trace: Union[Trace, TraceStream],
+        config: SimConfig,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -455,6 +460,39 @@ class RoutingProtocol:
     def finalize(self, world: World) -> None:  # pragma: no cover - trivial default
         """Called once after the event loop ends."""
 
+    # -- shard API (see docs/scaling.md) -----------------------------------------
+    #: whether the protocol's per-node state is self-contained enough to
+    #: migrate between shard processes when its carrier crosses a subarea
+    #: boundary.  Protocols holding cross-landmark global state (loop
+    #: correction, node-location registries, contact graphs) must leave
+    #: this False; the sharded coordinator then runs them serially.
+    shard_safe = False
+
+    def export_node_state(self, nid: int) -> object:
+        """Detach and return node ``nid``'s protocol state for a handoff.
+
+        Called by the departing shard when the node's next visit lies on
+        another shard; the returned object is pickled into the transit
+        message.  ``None`` means the protocol carries no per-node state.
+        """
+        return None
+
+    def import_node_state(self, nid: int, state: object) -> None:
+        """Install protocol state shipped from another shard."""
+
+    def export_node_maintenance(self, nid: int) -> object:
+        """Detach maintenance payloads travelling with node ``nid``
+        (backward bandwidth reports, carried table snapshots).
+
+        Kept separate from :meth:`export_node_state` because it is the
+        paper's second inter-landmark message class: routing *information*
+        flowing between subareas, not routing *state* of the carrier.
+        """
+        return None
+
+    def import_node_maintenance(self, nid: int, payload: object) -> None:
+        """Install carried maintenance payloads shipped from another shard."""
+
 
 # event kinds, ordered for same-timestamp ties: fault edges flip the fault
 # state first (an event at the edge instant already sees the new state),
@@ -484,7 +522,7 @@ class Simulation:
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Union[Trace, TraceStream],
         protocol: RoutingProtocol,
         config: SimConfig,
         probes: Optional[Sequence[Tuple[float, object]]] = None,
@@ -508,15 +546,20 @@ class Simulation:
         self.scenario = scenario
 
     # -- event assembly -----------------------------------------------------------
-    def _events(self) -> List[Tuple[float, int, int, object]]:
+    def _events(self) -> Iterable[Tuple[float, int, int, object]]:
         # the visit-start/visit-end stream depends only on the trace, so it
         # is memoized there (Trace.replay_events); workload and probe events
         # depend on the config and are appended per run, with sequence
-        # numbers continuing past the cached stream's 2*len(trace)
-        events: List[Tuple[float, int, int, object]] = list(
-            self.trace.replay_events(_VISIT_START, _VISIT_END)
+        # numbers continuing past the cached stream's 2*len(trace).
+        # A TraceStream is never materialized: its replay generator is
+        # already globally sorted, so the (small) extra-event list is sorted
+        # alone and lazily merged in.
+        streaming = isinstance(self.trace, TraceStream)
+        events: List[Tuple[float, int, int, object]] = (
+            [] if streaming
+            else list(self.trace.replay_events(_VISIT_START, _VISIT_END))
         )
-        counter = len(events)
+        counter = 2 * len(self.trace)
         warmup_end = self.trace.start_time + self.config.warmup_fraction * self.trace.duration
         gen_end = self.trace.start_time + self.config.generation_end_fraction * self.trace.duration
         if gen_end > warmup_end and self.config.effective_rate > 0:
@@ -547,6 +590,11 @@ class Simulation:
         # reaches the payload — identical order to the old (t, kind, seq) key
         # without materializing a key object per event
         events.sort()
+        if streaming:
+            replay = self.trace.replay_events(_VISIT_START, _VISIT_END)
+            # both inputs are sorted and seqs are globally unique, so the
+            # merge reproduces exactly the order the sort above would give
+            return heapq.merge(replay, events) if events else replay
         return events
 
     # -- handlers ------------------------------------------------------------------
@@ -642,7 +690,7 @@ class Simulation:
             # driven, so every protocol sees the identical workload
             return
         station = world.stations[gen.src]
-        packet = self.factory.create(src=gen.src, dst=gen.dst, now=t)
+        packet = self._mint(gen, t)
         world.metrics.on_generated()
         station.buffer.add(packet)
         if world.obs_enabled:
@@ -651,6 +699,15 @@ class Simulation:
             )
         world.drop_expired_in(station)
         self.protocol.on_packet_generated(world, station, packet, t)
+
+    def _mint(self, gen: GenerationEvent, t: float) -> Packet:
+        """Create the packet for one generation event.
+
+        Split out so the shard engine can mint packets with coordinator-
+        assigned ids and TTLs (identical to the serial factory sequence)
+        while the handler above stays shared.
+        """
+        return self.factory.create(src=gen.src, dst=gen.dst, now=t)
 
     # -- main loop -----------------------------------------------------------------
     #: phase names indexed by event kind, for the dispatch timers

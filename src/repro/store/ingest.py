@@ -394,6 +394,8 @@ def ingest_bench_snapshot(
     values: Dict[str, float] = {}
     if isinstance(snapshot.get("suite_seconds"), (int, float)):
         values["suite_seconds"] = float(snapshot["suite_seconds"])
+    if isinstance(snapshot.get("max_rss_kb"), (int, float)):
+        values["max_rss_kb"] = float(snapshot["max_rss_kb"])
     _flatten_numeric("figures", snapshot.get("figures") or {}, values)
     _flatten_numeric("parallel", snapshot.get("parallel") or {}, values)
     if values:

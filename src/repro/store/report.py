@@ -110,7 +110,13 @@ def trend_report(db: ExperimentDB) -> Dict[str, Any]:
         values = db.run_metric_rows(run["id"])
         if "suite_seconds" in values:
             bench["suite_seconds"].append(
-                {"recorded_at": run["created_at"], "value": values["suite_seconds"]}
+                {
+                    "recorded_at": run["created_at"],
+                    "value": values["suite_seconds"],
+                    # peak RSS is recorded alongside wall-clock so the
+                    # memory-stays-bounded claim trends like runtime does
+                    "max_rss_kb": values.get("max_rss_kb"),
+                }
             )
 
     # per-phase wall-clock trend over recorded profiles, grouped by the
@@ -220,10 +226,15 @@ def render_markdown(report: Dict[str, Any]) -> str:
     if not bench["suite_seconds"]:
         lines.append("No benchmark sessions recorded.")
     else:
-        lines.append("| recorded_at | suite_seconds |")
-        lines.append("|---|---|")
+        lines.append("| recorded_at | suite_seconds | max_rss_kb |")
+        lines.append("|---|---|---|")
         for entry in bench["suite_seconds"]:
-            lines.append(f"| {entry['recorded_at']} | {entry['value']:.3f} |")
+            rss = entry.get("max_rss_kb")
+            lines.append(
+                f"| {entry['recorded_at']} | {entry['value']:.3f} | "
+                + (f"{rss:.0f}" if rss is not None else "-")
+                + " |"
+            )
     lines.append("")
 
     profiles = report.get("profiles") or {}

@@ -1,0 +1,131 @@
+"""Sharded execution parity: zero-tolerance against the committed baseline.
+
+The subarea-sharded engine (docs/scaling.md) claims its epoch-barriered
+decomposition is *bit-identical* to the serial engine — shard-safe
+protocols run split across processes, everything else falls back to
+serial, and either way every metric matches the committed CI baseline to
+the last bit.  This suite runs both ci scenarios through ``repro
+scenario run --shards N`` for N in {2, 4} and gates the recorded results
+with ``repro db regress`` at zero tolerance, exactly like the serial
+parity suite in ``test_metric_parity.py``.
+
+Also carries the fast (non-slow) plan-level invariant checks: cut
+monotonicity, export-epoch validity, and the ``shards`` manifest block
+round-trip.
+
+Marked ``slow`` (scenario-level tests): CI's shard-smoke job runs the
+same scenarios through the CLI for an exit-coded gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+CI = REPO / "ci"
+
+SCENARIOS = [
+    CI / "regression-scenario.json",
+    CI / "regression-faulted-scenario.json",
+]
+
+
+# -- fast plan/spec invariants -------------------------------------------------
+
+
+def test_scenario_spec_shards_round_trip():
+    from repro.eval.scenario import ScenarioSpec
+
+    data = {"trace": {"profile": "DART", "seed": 1}, "shards": 2}
+    spec = ScenarioSpec.from_dict(data)
+    assert spec.shards == 2
+    assert ScenarioSpec.from_dict(spec.as_dict()).shards == 2
+    # the mapping form and the degenerate values
+    assert ScenarioSpec.from_dict(
+        {"trace": {"profile": "DART", "seed": 1}, "shards": {"count": 4}}
+    ).shards == 4
+    with pytest.raises(ValueError):
+        ScenarioSpec.from_dict(
+            {"trace": {"profile": "DART", "seed": 1}, "shards": 1}
+        )
+
+
+def test_shards_never_enter_point_scenario_identity():
+    """The shard count is an execution hint: the resolved per-point
+    scenario (what the experiment store hashes) must not mention it."""
+    from repro.eval.scenario import ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(
+        {"trace": {"profile": "DART", "seed": 1}, "shards": 2,
+         "protocols": ["Direct"], "seeds": [1]}
+    ).validate()
+    profile, tspec, _ = spec.resolve_trace()
+    for _t, point, _c in spec.entries(profile, tspec):
+        assert "shards" not in json.dumps(point.scenario)
+
+
+def test_plan_invariants_on_campus_stream():
+    from repro.eval.sharded import plan_shards
+    from repro.mobility.synthetic import CampusConfig, CampusMobilityModel
+
+    stream = CampusMobilityModel(
+        CampusConfig(n_nodes=60, days=2), seed=3
+    ).trace_stream()
+    plan = plan_shards(stream, 2)
+    cuts = plan.cuts
+    assert all(a < b for a, b in zip(cuts, cuts[1:])), "cuts must increase"
+    assert plan.n_epochs == len(cuts) + 1
+    scheduled = 0
+    per_node_epochs: dict = {}
+    for shard, exports in enumerate(plan.exports):
+        for epoch, items in exports.items():
+            assert 0 <= epoch < len(cuts)
+            for nid, to_shard, force in items:
+                assert to_shard != shard
+                scheduled += 1
+                per_node_epochs.setdefault(nid, []).append(epoch)
+    assert scheduled == plan.n_cross
+    # a node's consecutive handoffs land at strictly increasing barriers,
+    # so collected across shards its epoch set has no duplicates
+    for nid, epochs in per_node_epochs.items():
+        assert len(set(epochs)) == len(epochs), (
+            f"node {nid}: two handoffs on one epoch barrier"
+        )
+
+
+# -- scenario-level zero-tolerance parity --------------------------------------
+
+pytestmark_slow = pytest.mark.slow
+
+
+@pytest.fixture(scope="module", params=[2, 4], ids=["shards2", "shards4"])
+def sharded_db(request, tmp_path_factory):
+    """Both ci scenarios run with ``--shards N`` into a fresh store."""
+    shards = request.param
+    db = tmp_path_factory.mktemp(f"sharded{shards}") / "sharded.sqlite"
+    for scenario in SCENARIOS:
+        rc = main([
+            "scenario", "run", str(scenario),
+            "--shards", str(shards),
+            "--record", "--db", str(db),
+        ])
+        assert rc == 0, f"sharded scenario run failed for {scenario.name}"
+    return db
+
+
+@pytest.mark.slow
+def test_sharded_metrics_bit_identical_to_committed_baseline(sharded_db, capsys):
+    rc = main([
+        "db", "regress",
+        "--db", str(sharded_db),
+        "--baseline-file", str(CI / "regression-baseline.json"),
+        "--abs", "0", "--rel", "0", "--fail-on-missing",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, f"zero-tolerance regress failed under sharding:\n{out}"
+    assert "0 failed" in out and "0 missing" in out
