@@ -8,7 +8,9 @@ Commands
 ``sweep``       the Fig. 11-14 memory/rate sweeps
 ``scenario``    run/validate/show declarative scenario manifests
 ``rerun``       reproduce a past run from its exported provenance
+``resume``      continue an interrupted checkpointed run directory
 ``resilience``  degradation curves + re-convergence under injected faults
+``chaos``       executor-fault injection: recovery + metric-parity gate
 ``db``          experiment store: ingest/query/baseline/regress/report
 ``deployment``  the Section V-C campus deployment
 ``predict``     the Fig. 6 order-k prediction study
@@ -214,6 +216,29 @@ def _print_scenario_result(res: ScenarioResult) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     shards = args.shards if args.shards is not None and args.shards >= 2 else None
+    if args.run_dir:
+        # checkpointed execution works on a scenario; synthesize a
+        # single-point one from the workload flags when none was given
+        if args.scenario:
+            spec = _load_scenario_arg(args.scenario)
+        else:
+            key = args.trace.upper()
+            trace_block = (
+                {"profile": key, "seed": args.seed}
+                if key in ("DART", "DNET")
+                else {"path": args.trace}
+            )
+            spec = ScenarioSpec.from_dict({
+                "name": f"run-{args.protocol}",
+                "trace": trace_block,
+                "sim": {"memory_kb": args.memory, "rate": args.rate},
+                "protocols": [args.protocol],
+                "seeds": [args.seed],
+            }).validate()
+        return _run_resumable_cli(
+            args, spec, shards if shards is not None else spec.shards,
+            args.run_dir,
+        )
     if args.scenario:
         spec = _load_scenario_arg(args.scenario)
         if spec.n_points() != 1:
@@ -481,6 +506,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         return 0
     # action == "run"
     shards = args.shards if args.shards is not None else spec.shards
+    if args.run_dir:
+        if shards is not None and shards < 2:
+            shards = None
+        return _run_resumable_cli(args, spec, shards, args.run_dir)
     if shards is not None and shards >= 2:
         from repro.eval.sharded import run_scenario_sharded
 
@@ -503,17 +532,150 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             print(f"--shards {shards} < 2: running serially", file=sys.stderr)
         res = run_scenario(spec, jobs=parse_jobs(args.jobs))
     _maybe_record(args, ingest_scenario_result, res)
+    return _scenario_output(args, res)
+
+
+def _scenario_output(args: argparse.Namespace, res: ScenarioResult) -> int:
+    """Shared output tail for scenario-shaped results (tables/--out/--json)."""
     payload = res.as_dict()
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
+    out = getattr(args, "out", None)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
-        print(f"wrote {len(res.results)} results to {args.out}")
-    if args.json:
+        print(f"wrote {len(res.results)} results to {out}")
+    if getattr(args, "json", False):
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    if not args.out:
+    if not out:
         _print_scenario_result(res)
     return 0
+
+
+def _record_partial(args: argparse.Namespace, results, label: str) -> int:
+    """Record whatever completed before an interrupt; returns the count.
+
+    The store's content-hash dedup makes this safe: when the resumed run
+    records the full sweep, the points recorded here are recognized and
+    skipped.
+    """
+    done = [r for r in results if r is not None]
+    if done:
+        _maybe_record(
+            args, ingest_experiment_results, done,
+            kind="scenario", label=f"{label}:partial",
+        )
+    return len(done)
+
+
+def _run_resumable_cli(
+    args: argparse.Namespace, spec: ScenarioSpec, shards, run_dir_path: str
+) -> int:
+    """Create-or-continue a checkpointed run directory (``--run-dir``)."""
+    from repro.eval.resume import create_run, run_resumable
+    from repro.eval.runner import SweepInterrupted
+    from repro.sim.checkpoint import DEFAULT_EVERY_EVENTS, CheckpointError
+
+    every = getattr(args, "every_events", None) or DEFAULT_EVERY_EVENTS
+    label = spec.name or "scenario"
+    try:
+        rd = create_run(run_dir_path, spec, shards=shards, every_events=every)
+        res, _infos = run_resumable(spec, rd, shards=shards, every_events=every)
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except SweepInterrupted as exc:
+        done = _record_partial(args, exc.results, label)
+        print(
+            f"interrupted: {done}/{len(exc.results)} points complete and "
+            f"checkpointed; continue with: repro resume {run_dir_path}",
+            file=sys.stderr,
+        )
+        return 130
+    _maybe_record(args, ingest_scenario_result, res)
+    return _scenario_output(args, res)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.eval.resume import resume_run
+    from repro.eval.runner import SweepInterrupted
+    from repro.sim.checkpoint import CheckpointError
+
+    try:
+        res, _infos, spec = resume_run(args.run_dir)
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except SweepInterrupted as exc:
+        done = _record_partial(args, exc.results, "resume")
+        print(
+            f"interrupted again: {done}/{len(exc.results)} points complete; "
+            f"continue with: repro resume {args.run_dir}",
+            file=sys.stderr,
+        )
+        return 130
+    _maybe_record(args, ingest_scenario_result, res)
+    return _scenario_output(args, res)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.eval.chaos import (
+        ChaosSpec,
+        chaos_summary_lines,
+        hold_store_lock,
+        run_chaos,
+    )
+
+    spec = _load_scenario_arg(args.scenario)
+    kill = None
+    if args.kill_shard:
+        try:
+            s, k = (int(x) for x in args.kill_shard.split(":"))
+        except ValueError:
+            print("--kill-shard wants SHARD:EPOCH (e.g. 1:1)", file=sys.stderr)
+            return 2
+        kill = (s, k)
+    chaos = ChaosSpec(
+        seed=args.seed,
+        point=args.point,
+        kill_shard=kill,
+        interrupt_after=args.interrupt_after,
+        truncate_checkpoint=args.truncate_checkpoint,
+        hold_store_lock_ms=args.hold_lock_ms,
+    )
+    run_dir = args.run_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    shards = args.shards if args.shards is not None else spec.shards
+    try:
+        report, result = run_chaos(
+            spec, chaos, run_dir, shards=shards, every_events=args.every_events
+        )
+    except RuntimeError as exc:  # recovery itself failed — that IS the verdict
+        print(f"chaos: unrecovered executor failure: {exc!r}", file=sys.stderr)
+        return 1
+    if getattr(args, "record", False):
+        lock_thread = None
+        if chaos.hold_store_lock_ms:
+            path = _store_path(args)
+            with ExperimentDB(path):  # ensure the schema exists first
+                pass
+            lock_thread = hold_store_lock(path, chaos.hold_store_lock_ms)
+            report.notes.append(
+                f"recorded while a rival held the write lock for "
+                f"{chaos.hold_store_lock_ms}ms"
+            )
+        _maybe_record(args, ingest_scenario_result, result, kind="chaos")
+        if lock_thread is not None:
+            lock_thread.join()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote chaos report to {args.out}")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print("\n".join(chaos_summary_lines(report)))
+    return 0 if report.ok else 1
 
 
 def cmd_rerun(args: argparse.Namespace) -> int:
@@ -1140,6 +1302,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "manifest (JSON file or preset name); other "
                             "trace/workload flags are ignored")
 
+    def add_run_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--run-dir", default=None, metavar="DIR",
+                       help="checkpointed execution: create (or continue) a "
+                            "crash-safe run directory; interrupted runs "
+                            "resume with 'repro resume DIR' "
+                            "(see docs/reliability.md)")
+        p.add_argument("--every-events", type=positive_int, default=None,
+                       metavar="N",
+                       help="serial checkpoint cadence in dispatched events "
+                            "(with --run-dir; default 200000)")
+
     p = sub.add_parser("run", help="run one protocol on one workload")
     add_common(p)
     add_workload(p)
@@ -1149,6 +1322,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=positive_int, default=None, metavar="N",
                    help="split the run across N subarea-sharded processes "
                         "(metrics identical to serial; see docs/scaling.md)")
+    add_run_dir(p)
     p.add_argument("--json", action="store_true",
                    help="print machine-readable JSON (with run provenance)")
     p.set_defaults(func=cmd_run)
@@ -1259,11 +1433,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--span-tree", default=None, metavar="FILE",
                    help="(run, with --shards) write each point's merged "
                         "span tree and shard topology as JSON")
+    add_run_dir(p)
     p.add_argument("--out", default=None, metavar="FILE",
                    help="(run) write the full results JSON to FILE")
     p.add_argument("--json", action="store_true",
                    help="(run) print the full results JSON to stdout")
     p.set_defaults(func=cmd_scenario)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted checkpointed run directory",
+        description="Continue a --run-dir execution from its last complete "
+                    "checkpoints: committed points are skipped, the "
+                    "in-flight point restarts mid-run, and the final "
+                    "metrics are bit-identical to an uninterrupted run "
+                    "(see docs/reliability.md).",
+    )
+    p.add_argument("run_dir", metavar="RUN_DIR",
+                   help="run directory created by --run-dir")
+    add_record(p)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the full results JSON to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the full results JSON to stdout")
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "chaos",
+        help="executor-fault injection: kill/crash/corrupt, then assert "
+             "recovery + metric parity",
+        description="Run a scenario under an injected executor failure "
+                    "(shard worker killed mid-epoch, serial engine crashed "
+                    "between checkpoints, checkpoint truncated, store lock "
+                    "held) and verify the execution plane recovers to "
+                    "bit-identical metrics. 'repro resilience' injects "
+                    "faults into the simulated DTN; 'repro chaos' injects "
+                    "them into the runner itself (see docs/reliability.md). "
+                    "Exits non-zero when recovery or parity fails.",
+    )
+    p.add_argument("scenario", help="scenario JSON file or preset name")
+    p.add_argument("--shards", type=positive_int, default=None, metavar="N",
+                   help="run points sharded; enables --kill-shard injection")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="run directory for checkpoints + recovery.jsonl "
+                        "(default: a fresh temp dir)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="derives any injection knob left unset (default 0)")
+    p.add_argument("--point", type=int, default=None,
+                   help="grid point index to target (default: from --seed)")
+    p.add_argument("--kill-shard", default=None, metavar="SHARD:EPOCH",
+                   help="kill this shard worker at this epoch (sharded runs)")
+    p.add_argument("--interrupt-after", type=positive_int, default=None,
+                   metavar="N",
+                   help="crash the serial engine after its N-th checkpoint")
+    p.add_argument("--truncate-checkpoint", action="store_true",
+                   help="also corrupt the newest checkpoint before resuming "
+                        "(pair with --interrupt-after 2 or more)")
+    p.add_argument("--hold-lock-ms", type=positive_int, default=None,
+                   metavar="MS",
+                   help="with --record: a rival connection holds the store's "
+                        "write lock this long while results are recorded")
+    p.add_argument("--every-events", type=positive_int, default=50_000,
+                   metavar="N",
+                   help="serial checkpoint cadence (default 50000 — dense "
+                        "enough that small scenarios checkpoint at all)")
+    add_record(p)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the chaos report JSON to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the chaos report as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "rerun",

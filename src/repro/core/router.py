@@ -224,6 +224,28 @@ class DTNFlowProtocol(RoutingProtocol):
             acc_hist.observe(value)
         return observer
 
+    # -- checkpoint API (see docs/reliability.md) ---------------------------------
+    def detach_runtime(self) -> None:
+        """Drop the profiler/event-log handles and observer closures so the
+        protocol (and the station/node state it owns) pickles cleanly."""
+        self._obs = None
+        self._prof = None
+        for st in self._stations.values():
+            st.bw.observer = None
+        for ns in self._nodes.values():
+            ns.acc.observer = None
+
+    def attach_runtime(self, world: World) -> None:
+        """Re-run setup()'s observability wiring against ``world``."""
+        self._prof = world.obs.profiler if world.obs.profiler.enabled else None
+        self._obs = world.obs if world.obs_enabled else None
+        if self._obs is not None:
+            for lid, st in self._stations.items():
+                st.bw.observer = self._make_bw_observer(world, lid)
+            acc_cb = self._make_accuracy_observer(world)
+            for ns in self._nodes.values():
+                ns.acc.observer = acc_cb
+
     def station_state(self, lid: int) -> _StationState:
         return self._stations[lid]
 

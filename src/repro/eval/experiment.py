@@ -36,6 +36,7 @@ def execute_config(
     protocol_kwargs: Optional[dict] = None,
     scenario: Optional[dict] = None,
     obs: Optional[Observability] = None,
+    checkpointer=None,
 ) -> ExperimentResult:
     """Run one experiment from a fully-resolved :class:`SimConfig`.
 
@@ -45,9 +46,16 @@ def execute_config(
     ``scenario`` (a resolved-scenario dict) is stamped into the run's
     provenance for exact reruns.  ``obs`` overrides the run's observability
     context (``repro profile`` injects one whose spans share a recorder).
+    ``checkpointer`` (a :class:`~repro.sim.checkpoint.SerialCheckpointer`)
+    switches to the crash-safe loop: restore from the newest complete
+    checkpoint, snapshot every N events — bit-identical either way.
     """
     protocol = make_protocol(protocol_name, **(protocol_kwargs or {}))
-    summary = Simulation(trace, protocol, config, obs=obs, scenario=scenario).run()
+    sim = Simulation(trace, protocol, config, obs=obs, scenario=scenario)
+    if checkpointer is None:
+        summary = sim.run()
+    else:
+        summary = sim.run_checkpointed(checkpointer)
     return ExperimentResult(
         protocol=protocol_name,
         trace=trace.name,

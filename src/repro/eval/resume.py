@@ -1,0 +1,258 @@
+"""Resumable scenario runs: one durable run directory per sweep.
+
+A *run directory* (see :class:`~repro.sim.checkpoint.RunDir`) makes a
+scenario execution crash-safe end to end:
+
+* the manifest pins the fully-resolved scenario and its content hash, so a
+  resume can never silently continue a *different* experiment;
+* every finished sweep point is committed as a framed
+  ``points/<i>/result.ckpt`` the moment it completes — a later crash never
+  re-runs it;
+* the in-flight point checkpoints incrementally (serial engine: every N
+  dispatched events via :class:`~repro.sim.checkpoint.SerialCheckpointer`;
+  sharded engine: every epoch barrier via the coordinator's commit
+  records), so even the interrupted point resumes mid-run;
+* all recovery actions land in ``recovery.jsonl`` as ``executor.*``
+  events.
+
+:func:`run_resumable` is create-or-continue: pointed at a fresh directory
+it runs the whole grid; pointed at a partial one it skips committed points
+and restarts the rest from their newest checkpoints.  ``repro resume``
+(and ``--run-dir`` on ``repro scenario run``) are thin CLI shims over
+:func:`resume_run`.  Metrics are bit-identical to an uninterrupted run —
+the regression gate (``repro db regress`` at zero tolerance) holds across
+any kill/resume sequence.  See docs/reliability.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.eval.experiment import ExperimentResult, execute_config
+from repro.eval.runner import SweepInterrupted
+from repro.eval.scenario import ScenarioResult, ScenarioSpec
+from repro.eval.sharded import execute_point_sharded
+from repro.obs import events as event_types
+from repro.obs.registry import MetricsRegistry
+from repro.sim.checkpoint import (
+    DEFAULT_EVERY_EVENTS,
+    CheckpointError,
+    ExecutionInterrupted,
+    InterruptFlag,
+    RunDir,
+    SerialCheckpointer,
+)
+from repro.store.db import content_hash
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "create_run",
+    "open_run",
+    "resume_run",
+    "run_resumable",
+]
+
+MANIFEST_VERSION = 1
+
+
+def create_run(
+    path: Union[str, Path],
+    spec: ScenarioSpec,
+    *,
+    shards: Optional[int] = None,
+    every_events: int = DEFAULT_EVERY_EVENTS,
+) -> RunDir:
+    """Create a run directory for ``spec``; refuses to clobber another run.
+
+    The manifest stores the *normalized* scenario (``as_dict`` round-trip)
+    plus its content hash; :func:`open_run` re-hashes on load so a resume
+    against an edited or corrupted manifest fails loudly instead of
+    continuing the wrong experiment.
+    """
+    rd = RunDir(path)
+    scenario = spec.validate().as_dict()
+    if rd.exists():
+        existing = rd.read_manifest()
+        if existing.get("content_hash") != content_hash(scenario):
+            raise CheckpointError(
+                f"{rd.path} already holds a different scenario "
+                f"(hash {existing.get('content_hash')!r}); refusing to reuse it"
+            )
+        return rd
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "kind": "scenario-run",
+        "scenario": scenario,
+        "content_hash": content_hash(scenario),
+        "shards": shards,
+        "every_events": int(every_events),
+    }
+    return RunDir.create(path, manifest)
+
+
+def open_run(
+    path: Union[str, Path],
+) -> Tuple[RunDir, ScenarioSpec, Optional[int], int]:
+    """Open an existing run directory, verifying its manifest hash.
+
+    Returns ``(run_dir, spec, shards, every_events)``.
+    """
+    rd = RunDir(path)
+    manifest = rd.read_manifest()
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        raise CheckpointError(
+            f"{rd.path}: unsupported run-directory version {version!r} "
+            f"(this package writes {MANIFEST_VERSION})"
+        )
+    scenario = manifest.get("scenario")
+    if not isinstance(scenario, Mapping):
+        raise CheckpointError(f"{rd.path}: manifest has no scenario block")
+    spec = ScenarioSpec.from_dict(scenario)
+    declared = manifest.get("content_hash")
+    actual = content_hash(spec.as_dict())
+    if declared != actual:
+        raise CheckpointError(
+            f"{rd.path}: manifest content hash mismatch (declared "
+            f"{declared!r}, resolved scenario hashes to {actual!r}); "
+            "the manifest was edited or corrupted — not resuming"
+        )
+    shards = manifest.get("shards")
+    every = int(manifest.get("every_events") or DEFAULT_EVERY_EVENTS)
+    return rd, spec, shards, every
+
+
+def run_resumable(
+    spec: ScenarioSpec,
+    run_dir: RunDir,
+    *,
+    shards: Optional[int] = None,
+    every_events: int = DEFAULT_EVERY_EVENTS,
+    registry: Optional[MetricsRegistry] = None,
+    barrier_timeout: Optional[float] = None,
+    max_restarts: int = 2,
+    restart_backoff: float = 0.5,
+    injections: Optional[Mapping[int, Mapping[str, Any]]] = None,
+) -> Tuple[ScenarioResult, List[Optional[Dict[str, Any]]]]:
+    """Run (or continue) every point of ``spec`` inside ``run_dir``.
+
+    Committed points are skipped outright; the rest execute with
+    checkpointing on — serial points through
+    :meth:`Simulation.run_checkpointed`, sharded points (``shards >= 2``)
+    through the supervised epoch-barrier coordinator, both resuming from
+    whatever checkpoints the directory already holds.
+
+    A deferred SIGINT/SIGTERM flushes the in-flight point's state and
+    raises :class:`~repro.eval.runner.SweepInterrupted` carrying the
+    completed results (index-aligned, ``None`` for unfinished) so callers
+    can record the partial sweep; re-invoking with the same directory
+    finishes it.
+
+    ``injections`` is the chaos hook: a per-point-index mapping with
+    optional ``chaos_kill`` (``(shard, epoch)`` forwarded to the shard
+    worker) and ``crash_after_saves`` (forwarded to the serial
+    checkpointer) keys.  Production callers leave it ``None``.
+    """
+    effective_shards = shards if shards is not None else spec.shards
+    profile, tspec, materialized = spec.resolve_trace()
+    entries = spec.entries(profile, tspec)
+    recovery = run_dir.recovery_log(registry)
+    injections = dict(injections or {})
+    plan_cache: Dict[int, Any] = {}
+    trace = None
+    points = [point for _, point, _ in entries]
+    results: List[Optional[ExperimentResult]] = [None] * len(entries)
+    infos: List[Optional[Dict[str, Any]]] = [None] * len(entries)
+    with InterruptFlag() as flag:
+        for i, (_tspec, point, config) in enumerate(entries):
+            cached = run_dir.load_result(i)
+            if cached is not None:
+                results[i] = cached["result"]
+                infos[i] = cached.get("info")
+                recovery.emit(
+                    event_types.EXECUTOR_RESUME, kind="point",
+                    index=i, protocol=point.protocol,
+                )
+                continue
+            if flag.triggered:
+                recovery.emit(
+                    event_types.EXECUTOR_INTERRUPT, kind="between-points",
+                    index=i, signum=flag.signum,
+                )
+                raise SweepInterrupted(results)
+            if trace is None:
+                trace = materialized.get(tspec.key)
+                if trace is None:
+                    trace = tspec.materialize()
+            inj = dict(injections.get(i) or {})
+            point_dir = run_dir.point_dir(i)
+            checkpointer = SerialCheckpointer(
+                point_dir / "serial",
+                every_events=every_events,
+                flag=flag,
+                recovery=recovery,
+                crash_after_saves=inj.get("crash_after_saves"),
+            )
+            try:
+                if effective_shards is not None and effective_shards >= 2:
+                    result, info = execute_point_sharded(
+                        trace, point, config,
+                        shards=effective_shards,
+                        plan_cache=plan_cache,
+                        checkpoint_dir=point_dir,
+                        recovery=recovery,
+                        barrier_timeout=barrier_timeout,
+                        max_restarts=max_restarts,
+                        restart_backoff=restart_backoff,
+                        chaos_kill=inj.get("chaos_kill"),
+                        serial_checkpointer=checkpointer,
+                    )
+                else:
+                    result = execute_config(
+                        trace, point.protocol, config,
+                        memory_kb=point.memory_kb,
+                        rate=point.rate,
+                        seed=point.seed,
+                        protocol_kwargs=point.protocol_kwargs,
+                        scenario=point.scenario,
+                        checkpointer=checkpointer,
+                    )
+                    info = {"execution": {"mode": "serial"}}
+            except ExecutionInterrupted:
+                # the in-flight point's state is already flushed; surface
+                # the completed prefix so the caller can record it
+                raise SweepInterrupted(results) from None
+            run_dir.write_result(i, {"index": i, "result": result, "info": info})
+            results[i] = result
+            infos[i] = info
+    return (
+        ScenarioResult(spec=spec, points=points, results=list(results)),
+        infos,
+    )
+
+
+def resume_run(
+    path: Union[str, Path],
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    barrier_timeout: Optional[float] = None,
+    max_restarts: int = 2,
+    restart_backoff: float = 0.5,
+) -> Tuple[ScenarioResult, List[Optional[Dict[str, Any]]], ScenarioSpec]:
+    """Continue the run in ``path`` from its last complete checkpoints.
+
+    The scenario, shard count and checkpoint cadence all come from the
+    manifest, so a resume cannot drift from the original invocation.
+    """
+    rd, spec, shards, every = open_run(path)
+    result, infos = run_resumable(
+        spec, rd,
+        shards=shards,
+        every_events=every,
+        registry=registry,
+        barrier_timeout=barrier_timeout,
+        max_restarts=max_restarts,
+        restart_backoff=restart_backoff,
+    )
+    return result, infos, spec

@@ -47,12 +47,30 @@ __all__ = [
     "PointSpec",
     "ProgressEvent",
     "ProgressFn",
+    "SweepInterrupted",
     "TraceSpec",
     "parse_jobs",
     "point_scenario_dict",
     "run_point_specs",
     "run_points",
 ]
+
+#: chaos hooks (set by ``repro chaos`` / tests): the index of the sweep point
+#: whose *pool* task should die abruptly or raise.  The serial re-run path
+#: deliberately has no hook, so an injected pool failure always recovers
+#: through the retry -> serial-fallback chain (see docs/reliability.md).
+CHAOS_POOL_EXIT = "REPRO_CHAOS_POOL_EXIT"
+CHAOS_POOL_RAISE = "REPRO_CHAOS_POOL_RAISE"
+
+
+def _chaos_index(name: str) -> Optional[int]:
+    value = os.environ.get(name)
+    if not value:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -280,6 +298,29 @@ class PointExecutionError(RuntimeError):
             f"trace={trace_key!r}: {cause!r}"
         )
 
+    def __reduce__(self):
+        # RuntimeError's default reduce would replay the formatted message
+        # into the 4-argument __init__; rebuild from the resolved spec so the
+        # error survives a trip across the process boundary.
+        return (self.__class__, (self.point, self.config, self.trace_key, self.cause))
+
+
+class SweepInterrupted(RuntimeError):
+    """A sweep was interrupted (SIGINT) with some points already complete.
+
+    :attr:`results` is index-aligned with the submitted entries; ``None``
+    marks points that never finished.  Callers can record the completed
+    points (the store's content-hash dedup makes re-recording safe) and
+    resume the sweep later — resumed runs skip already-recorded points.
+    """
+
+    def __init__(self, results: Sequence[Optional[ExperimentResult]]) -> None:
+        self.results: List[Optional[ExperimentResult]] = list(results)
+        done = sum(1 for r in self.results if r is not None)
+        super().__init__(
+            f"sweep interrupted with {done}/{len(self.results)} points complete"
+        )
+
 
 # -- worker-side state ----------------------------------------------------------
 _WORKER_SPECS: Dict[str, TraceSpec] = {}
@@ -324,6 +365,10 @@ def _run_task(
     _worker_put(
         ("started", idx, point.protocol, point.memory_kb, point.rate, point.seed, None, pid)
     )
+    if _chaos_index(CHAOS_POOL_EXIT) == idx:
+        os._exit(1)  # abrupt worker death: no exception, no cleanup
+    if _chaos_index(CHAOS_POOL_RAISE) == idx:
+        raise RuntimeError(f"chaos: injected pool failure for point {idx}")
     trace = _worker_trace(trace_key)
     t0 = perf_counter()
     result = execute_config(
@@ -487,6 +532,11 @@ def _run_pool(
                     failed.append((i, exc))
                 except Exception as exc:
                     failed.append((i, exc))
+    except KeyboardInterrupt:
+        # abandon in-flight points but surface the finished ones so the
+        # caller can record them and resume the sweep later
+        unhealthy = True
+        raise SweepInterrupted(results) from None
     finally:
         pool.shutdown(wait=not unhealthy, cancel_futures=True)
         if drainer is not None:
@@ -512,6 +562,8 @@ def _run_pool(
             try:
                 t0 = perf_counter()
                 results[i] = _rerun_entry_serial(entries[i], traces)
+            except KeyboardInterrupt:
+                raise SweepInterrupted(results) from None
             except Exception as exc:
                 spec, point, config = entries[i]
                 raise PointExecutionError(point, config, spec.key, exc) from exc
@@ -542,52 +594,70 @@ def _run_serial(
     out: List[ExperimentResult] = []
     total = len(entries)
     pid = os.getpid()
-    for i, (spec, point, config) in enumerate(entries):
-        _emit_progress(
-            progress,
-            ProgressEvent(
-                kind="started",
-                index=i,
-                total=total,
-                protocol=point.protocol,
-                memory_kb=point.memory_kb,
-                rate=point.rate,
-                seed=point.seed,
-                pid=pid,
-            ),
-        )
-        trace = traces.get(spec.key)
-        if trace is None:
-            trace = spec.materialize()
-            traces[spec.key] = trace
-        t0 = perf_counter()
-        out.append(
-            execute_config(
-                trace,
-                point.protocol,
-                config,
-                memory_kb=point.memory_kb,
-                rate=point.rate,
-                seed=point.seed,
-                protocol_kwargs=point.protocol_kwargs,
-                scenario=point.scenario,
-            )
-        )
-        _emit_progress(
-            progress,
-            ProgressEvent(
-                kind="finished",
-                index=i,
-                total=total,
-                protocol=point.protocol,
-                memory_kb=point.memory_kb,
-                rate=point.rate,
-                seed=point.seed,
-                seconds=perf_counter() - t0,
-                pid=pid,
-            ),
-        )
+    try:
+        for i, (spec, point, config) in enumerate(entries):
+            _serial_one(entries[i], traces, out, i, total, pid, progress)
+    except KeyboardInterrupt:
+        partial: List[Optional[ExperimentResult]] = list(out)
+        partial.extend([None] * (total - len(partial)))
+        raise SweepInterrupted(partial) from None
     return out
+
+
+def _serial_one(
+    entry: Entry,
+    traces: Dict[str, Trace],
+    out: List[ExperimentResult],
+    i: int,
+    total: int,
+    pid: int,
+    progress: Optional[ProgressFn],
+) -> None:
+    spec, point, config = entry
+    _emit_progress(
+        progress,
+        ProgressEvent(
+            kind="started",
+            index=i,
+            total=total,
+            protocol=point.protocol,
+            memory_kb=point.memory_kb,
+            rate=point.rate,
+            seed=point.seed,
+            pid=pid,
+        ),
+    )
+    trace = traces.get(spec.key)
+    if trace is None:
+        trace = spec.materialize()
+        traces[spec.key] = trace
+    t0 = perf_counter()
+    out.append(
+        execute_config(
+            trace,
+            point.protocol,
+            config,
+            memory_kb=point.memory_kb,
+            rate=point.rate,
+            seed=point.seed,
+            protocol_kwargs=point.protocol_kwargs,
+            scenario=point.scenario,
+        )
+    )
+    _emit_progress(
+        progress,
+        ProgressEvent(
+            kind="finished",
+            index=i,
+            total=total,
+            protocol=point.protocol,
+            memory_kb=point.memory_kb,
+            rate=point.rate,
+            seed=point.seed,
+            seconds=perf_counter() - t0,
+            pid=pid,
+        ),
+    )
 
 
 def run_point_specs(
@@ -613,6 +683,10 @@ def run_point_specs(
     ``progress`` receives a :class:`ProgressEvent` as each point starts and
     finishes — streamed over the pool boundary for parallel runs, invoked
     inline for serial ones.  Callback exceptions are swallowed.
+
+    A SIGINT mid-sweep raises :class:`SweepInterrupted` carrying the
+    completed points (index-aligned, ``None`` for unfinished) so callers
+    can record the partial sweep and resume it later.
     """
     entries = list(entries)
     if not entries:

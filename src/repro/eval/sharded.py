@@ -35,8 +35,10 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import resource
+import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -48,8 +50,16 @@ from repro.eval.runner import PointSpec
 from repro.eval.scenario import ScenarioResult, ScenarioSpec
 from repro.mobility.stream import TraceStream, landmark_partition
 from repro.mobility.trace import Trace, VisitRecord
+from repro.obs import events as event_types
 from repro.obs.provenance import RunProvenance
 from repro.obs.spans import SpanRecorder
+from repro.sim.checkpoint import (
+    CheckpointError,
+    RecoveryLog,
+    dump_checkpoint,
+    read_frame,
+    try_load_checkpoint,
+)
 from repro.sim.engine import _VISIT_END, _VISIT_START, SimConfig
 from repro.sim.metrics import MetricsCollector, MetricsSummary
 from repro.sim.packets import generate_workload
@@ -57,6 +67,7 @@ from repro.sim.shard import PreparedGen, ShardInit, TraceView, shard_worker
 
 __all__ = [
     "UnshardableTrace",
+    "ShardRecoveryError",
     "ShardPlan",
     "plan_shards",
     "run_sharded_point",
@@ -67,6 +78,15 @@ __all__ = [
 
 class UnshardableTrace(ValueError):
     """The trace's visit structure cannot be split at epoch barriers."""
+
+
+class ShardRecoveryError(RuntimeError):
+    """Supervised recovery of a shard fleet was exhausted or impossible.
+
+    Raised by the coordinator after bounded restarts fail (or when a dead
+    worker has no checkpoint to restart from); callers fall back to the
+    serial engine exactly like an :class:`UnshardableTrace` point.
+    """
 
 
 RecordsFactory = Callable[[], Iterable[VisitRecord]]
@@ -312,6 +332,43 @@ def unshardable_reason(
     return None, protocol.name
 
 
+class _ShardDead(Exception):
+    """Internal: a shard worker died or missed its barrier deadline."""
+
+    def __init__(self, shard: int, why: str) -> None:
+        super().__init__(f"shard {shard}: {why}")
+        self.shard = shard
+        self.why = why
+
+
+def _find_resume_epoch(
+    checkpoint_dir: Path, n_shards: int
+) -> Optional[Tuple[int, List[list], List[str]]]:
+    """Newest barrier whose commit record *and* all shard checkpoints verify.
+
+    Returns ``(epoch, pending imports for epoch+1, shard checkpoint paths)``
+    or None for a fresh start.  A truncated/corrupt file (chaos, crash
+    mid-write) simply disqualifies that barrier and the previous one is
+    tried — the framing makes partial state indistinguishable from absent.
+    """
+    for record_path in sorted(checkpoint_dir.glob("barrier-*.ckpt"), reverse=True):
+        state = try_load_checkpoint(record_path)
+        if state is None:
+            continue
+        epoch = int(state["epoch"])
+        paths = [
+            checkpoint_dir / f"shard{s}" / f"epoch-{epoch:06d}.ckpt"
+            for s in range(n_shards)
+        ]
+        try:
+            for p in paths:
+                read_frame(p)
+        except CheckpointError:
+            continue
+        return epoch, state["pending"], [str(p) for p in paths]
+    return None
+
+
 def _run_sharded(
     trace: Union[Trace, TraceStream],
     protocol_name: str,
@@ -320,8 +377,27 @@ def _run_sharded(
     plan: ShardPlan,
     protocol_kwargs: Optional[dict] = None,
     source_factory: Optional[RecordsFactory] = None,
+    checkpoint_dir: Optional["Path | str"] = None,
+    recovery: Optional[RecoveryLog] = None,
+    barrier_timeout: Optional[float] = None,
+    max_restarts: int = 2,
+    restart_backoff: float = 0.5,
+    chaos_kill: Optional[Tuple[int, int]] = None,
 ) -> Tuple[MetricsCollector, Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
-    """Run the shard fleet; returns (merged collector, execution, phases, tree)."""
+    """Run the shard fleet; returns (merged collector, execution, phases, tree).
+
+    With ``checkpoint_dir`` set the fleet is crash-safe: every worker
+    commits a framed checkpoint at each epoch barrier (before its
+    ``epoch_done`` reply), the coordinator commits a barrier record (the
+    routed imports for the next epoch) once all replies are in, and a
+    fresh coordinator resumes from the newest fully-verified barrier.
+    The supervisor restarts dead workers (pipe EOF, or ``barrier_timeout``
+    seconds of silence) from the previous barrier's checkpoint with
+    exponential backoff, at most ``max_restarts`` times per shard, then
+    raises :class:`ShardRecoveryError` for the caller's serial fallback.
+    ``chaos_kill=(shard, epoch)`` arms the worker-side chaos injection
+    (stripped on restart so recovery converges).
+    """
     n_shards = plan.n_shards
     t_plan0 = perf_counter()
     gens = _prepared_gens(trace, config)
@@ -336,21 +412,30 @@ def _run_sharded(
         shard_nodes[shard].append(nid)
     plan_seconds = perf_counter() - t_plan0
 
+    ckpt_root = Path(checkpoint_dir) if checkpoint_dir is not None else None
+    if ckpt_root is not None:
+        ckpt_root.mkdir(parents=True, exist_ok=True)
+
     ctx = multiprocessing.get_context()
-    pipes = []
-    procs = []
+    inits: List[ShardInit] = []
+    pipes: List[Any] = [None] * n_shards
+    procs: List[Any] = [None] * n_shards
+    restarts = [0] * n_shards
     t_run0 = perf_counter()
-    try:
-        for s in range(n_shards):
-            view = TraceView(
-                name=trace.name,
-                start_time=trace.start_time,
-                end_time=trace.end_time,
-                nodes=tuple(sorted(shard_nodes[s])),
-                landmarks=tuple(shard_landmarks[s]),
-                n_records=len(trace),
-            )
-            init = ShardInit(
+
+    if source_factory is None and plan.shard_records is None:
+        raise ValueError("plan has no shard_records and no source_factory given")
+    for s in range(n_shards):
+        view = TraceView(
+            name=trace.name,
+            start_time=trace.start_time,
+            end_time=trace.end_time,
+            nodes=tuple(sorted(shard_nodes[s])),
+            landmarks=tuple(shard_landmarks[s]),
+            n_records=len(trace),
+        )
+        inits.append(
+            ShardInit(
                 shard_id=s,
                 view=view,
                 config=config,
@@ -364,49 +449,174 @@ def _run_sharded(
                 ),
                 source=source_factory,
                 shard_of=plan.shard_of if source_factory is not None else None,
+                checkpoint_dir=(
+                    str(ckpt_root / f"shard{s}") if ckpt_root is not None else None
+                ),
+                chaos_exit_epoch=(
+                    chaos_kill[1] if chaos_kill is not None and chaos_kill[0] == s
+                    else None
+                ),
             )
-            if source_factory is None and plan.shard_records is None:
-                raise ValueError(
-                    "plan has no shard_records and no source_factory given"
+        )
+
+    def _spawn(s: int, *, start_epoch: int = 0,
+               resume_from: Optional[str] = None, strip_chaos: bool = False) -> None:
+        init = inits[s]
+        if start_epoch or resume_from or strip_chaos:
+            init = dataclasses.replace(
+                init,
+                start_epoch=start_epoch,
+                resume_from=resume_from,
+                chaos_exit_epoch=None if strip_chaos else init.chaos_exit_epoch,
+            )
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=shard_worker, args=(child_conn, init), daemon=True)
+        proc.start()
+        child_conn.close()
+        pipes[s] = parent_conn
+        procs[s] = proc
+
+    def _send(s: int, msg: tuple) -> None:
+        try:
+            pipes[s].send(msg)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise _ShardDead(s, f"send failed: {exc!r}") from exc
+
+    def _recv(s: int):
+        try:
+            if barrier_timeout is not None and not pipes[s].poll(barrier_timeout):
+                raise _ShardDead(
+                    s, f"missed barrier deadline ({barrier_timeout:g}s)"
                 )
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=shard_worker, args=(child_conn, init), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            pipes.append(parent_conn)
-            procs.append(proc)
-
-        def _recv(s: int):
             msg = pipes[s].recv()
-            if msg[0] == "error":
-                raise RuntimeError(f"shard {s} failed:\n{msg[1]}")
-            return msg
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise _ShardDead(s, f"worker died: {exc!r}") from exc
+        if msg[0] == "error":
+            raise RuntimeError(f"shard {s} failed:\n{msg[1]}")
+        return msg
 
+    def _restart(s: int, epoch: int, why: str) -> None:
+        """Replace a dead worker, restored to the state before ``epoch``."""
+        if recovery is not None:
+            recovery.emit(event_types.EXECUTOR_WORKER_DEAD,
+                          shard=s, epoch=epoch, reason=why)
+        restarts[s] += 1
+        if restarts[s] > max_restarts:
+            raise ShardRecoveryError(
+                f"shard {s} died {restarts[s]} times (epoch {epoch}: {why}); "
+                f"giving up after {max_restarts} restarts"
+            )
+        resume_from: Optional[str] = None
+        if epoch > 0:
+            if ckpt_root is None:
+                raise ShardRecoveryError(
+                    f"shard {s} died at epoch {epoch} ({why}) and "
+                    "checkpointing is off — nothing to restart from"
+                )
+            path = ckpt_root / f"shard{s}" / f"epoch-{epoch - 1:06d}.ckpt"
+            try:
+                read_frame(path)
+            except CheckpointError as exc:
+                raise ShardRecoveryError(
+                    f"shard {s} died at epoch {epoch} ({why}) and its "
+                    f"checkpoint is unusable: {exc}"
+                ) from exc
+            resume_from = str(path)
+        proc = procs[s]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        if pipes[s] is not None:
+            pipes[s].close()
+        backoff = restart_backoff * (2 ** (restarts[s] - 1))
+        time.sleep(backoff)
+        _spawn(s, start_epoch=epoch, resume_from=resume_from, strip_chaos=True)
+        if recovery is not None:
+            recovery.emit(event_types.EXECUTOR_WORKER_RESTART,
+                          shard=s, epoch=epoch, attempt=restarts[s],
+                          backoff_seconds=backoff)
+
+    try:
+        start_epoch = 0
         pending: List[list] = [[] for _ in range(n_shards)]
-        for k in range(plan.n_epochs):
+        resume_ckpts: List[Optional[str]] = [None] * n_shards
+        if ckpt_root is not None:
+            resumed = _find_resume_epoch(ckpt_root, n_shards)
+            if resumed is not None:
+                epoch, pending, paths = resumed
+                start_epoch = epoch + 1
+                resume_ckpts = list(paths)
+                if recovery is not None:
+                    recovery.emit(event_types.EXECUTOR_RESUME,
+                                  epoch=epoch, shards=n_shards)
+        for s in range(n_shards):
+            _spawn(s, start_epoch=start_epoch, resume_from=resume_ckpts[s])
+
+        for k in range(start_epoch, plan.n_epochs):
             for s in range(n_shards):
-                pipes[s].send(("epoch", k, pending[s]))
+                try:
+                    _send(s, ("epoch", k, pending[s]))
+                except _ShardDead as exc:
+                    _restart(s, k, exc.why)
+                    _send(s, ("epoch", k, pending[s]))
             incoming: List[list] = [[] for _ in range(n_shards)]
             for s in range(n_shards):
-                msg = _recv(s)
+                while True:
+                    try:
+                        msg = _recv(s)
+                        break
+                    except _ShardDead as exc:
+                        _restart(s, k, exc.why)
+                        _send(s, ("epoch", k, pending[s]))
+                if msg[0] != "epoch_done" or msg[1] != k:
+                    raise RuntimeError(
+                        f"shard {s}: unexpected barrier reply {msg[:2]}"
+                    )
                 for to_shard, items in msg[2].items():
                     incoming[to_shard].extend(items)
             # deterministic application order regardless of sender shard
             for batch in incoming:
                 batch.sort(key=lambda pair: pair[0].nid)
+            if ckpt_root is not None:
+                # barrier commit record: with this + every shard's epoch-k
+                # checkpoint on disk, a fresh coordinator restarts at k+1
+                dump_checkpoint(
+                    ckpt_root / f"barrier-{k:06d}.ckpt",
+                    {"epoch": k, "pending": incoming},
+                )
+                if recovery is not None:
+                    recovery.emit(event_types.EXECUTOR_CHECKPOINT,
+                                  epoch=k, kind="barrier")
+                for old in sorted(ckpt_root.glob("barrier-*.ckpt"))[:-2]:
+                    try:
+                        old.unlink()
+                    except OSError:  # pragma: no cover - best-effort prune
+                        pass
             pending = incoming
+
+        payloads: List[Optional[dict]] = [None] * n_shards
         for s in range(n_shards):
-            pipes[s].send(("finish",))
-        payloads = [_recv(s)[1] for s in range(n_shards)]
+            try:
+                _send(s, ("finish",))
+            except _ShardDead as exc:
+                _restart(s, plan.n_epochs, exc.why)
+                _send(s, ("finish",))
+        for s in range(n_shards):
+            while True:
+                try:
+                    payloads[s] = _recv(s)[1]
+                    break
+                except _ShardDead as exc:
+                    _restart(s, plan.n_epochs, exc.why)
+                    _send(s, ("finish",))
         for proc in procs:
             proc.join()
     finally:
         for pipe in pipes:
-            pipe.close()
+            if pipe is not None:
+                pipe.close()
         for proc in procs:
-            if proc.is_alive():  # pragma: no cover - error paths only
+            if proc is not None and proc.is_alive():
                 proc.terminate()
                 proc.join()
     run_seconds = perf_counter() - t_run0
@@ -459,6 +669,10 @@ def _run_sharded(
         "cross_shard_transits": plan.n_cross,
         "landmarks_per_shard": [len(lms) for lms in shard_landmarks],
     }
+    if any(restarts):
+        execution["worker_restarts"] = list(restarts)
+    if start_epoch:
+        execution["resumed_at_epoch"] = start_epoch
     info: Dict[str, Any] = {
         "execution": execution,
         "span_tree": recorder.tree(recorder.root),
@@ -502,12 +716,20 @@ def run_sharded_point(
     scenario: Optional[dict] = None,
     plan: Optional[ShardPlan] = None,
     source_factory: Optional[RecordsFactory] = None,
+    checkpoint_dir: Optional["Path | str"] = None,
+    recovery: Optional[RecoveryLog] = None,
+    barrier_timeout: Optional[float] = None,
+    max_restarts: int = 2,
+    restart_backoff: float = 0.5,
+    chaos_kill: Optional[Tuple[int, int]] = None,
 ) -> Tuple[ExperimentResult, Dict[str, Any]]:
     """Run one point across ``shards`` processes; raises when unshardable.
 
     Pass ``source_factory`` (a fresh-record-iterator factory) to run in
     streaming mode: workers regenerate the stream and keep only their own
     subarea's records, so no process ever materializes the full trace.
+    The crash-safety knobs (``checkpoint_dir`` onwards) are documented on
+    :func:`_run_sharded`.
     """
     reason, display_name = unshardable_reason(
         protocol_name, protocol_kwargs, config, shards, trace.n_landmarks
@@ -523,6 +745,12 @@ def run_sharded_point(
         plan=plan,
         protocol_kwargs=protocol_kwargs,
         source_factory=source_factory,
+        checkpoint_dir=checkpoint_dir,
+        recovery=recovery,
+        barrier_timeout=barrier_timeout,
+        max_restarts=max_restarts,
+        restart_backoff=restart_backoff,
+        chaos_kill=chaos_kill,
     )
     summary = _stamped_summary(
         merged, display_name, trace.name, config, scenario, execution, phases
@@ -558,6 +786,13 @@ def execute_point_sharded(
     *,
     shards: int,
     plan_cache: Optional[Dict[int, Any]] = None,
+    checkpoint_dir: Optional["Path | str"] = None,
+    recovery: Optional[RecoveryLog] = None,
+    barrier_timeout: Optional[float] = None,
+    max_restarts: int = 2,
+    restart_backoff: float = 0.5,
+    chaos_kill: Optional[Tuple[int, int]] = None,
+    serial_checkpointer=None,
 ) -> Tuple[ExperimentResult, Dict[str, Any]]:
     """One scenario point, sharded when possible, serial otherwise.
 
@@ -565,7 +800,11 @@ def execute_point_sharded(
     record buckets across every point of one scenario — the plan depends
     only on the trace.  Serial fallbacks are marked in the provenance
     ``execution`` block but produce byte-identical metric values, so
-    regression baselines hold either way.
+    regression baselines hold either way.  The crash-safety knobs are
+    documented on :func:`_run_sharded`; ``serial_checkpointer`` makes the
+    serial path (fallback or unshardable) crash-safe too.  Exhausted
+    shard-worker recovery (:class:`ShardRecoveryError`) falls back to the
+    serial engine like any unshardable point.
     """
     reason, _ = unshardable_reason(
         point.protocol, point.protocol_kwargs, config, shards, trace.n_landmarks
@@ -593,11 +832,21 @@ def execute_point_sharded(
                 protocol_kwargs=point.protocol_kwargs,
                 scenario=point.scenario,
                 plan=plan,
+                checkpoint_dir=checkpoint_dir,
+                recovery=recovery,
+                barrier_timeout=barrier_timeout,
+                max_restarts=max_restarts,
+                restart_backoff=restart_backoff,
+                chaos_kill=chaos_kill,
             )
         except UnshardableTrace as exc:
             reason = str(exc)
             if plan_cache is not None and shards not in plan_cache:
                 plan_cache[shards] = exc  # don't re-plan a hopeless trace
+        except ShardRecoveryError as exc:
+            reason = str(exc)
+            if recovery is not None:
+                recovery.emit(event_types.EXECUTOR_FALLBACK, reason=reason)
     result = execute_config(
         trace,
         point.protocol,
@@ -607,6 +856,7 @@ def execute_point_sharded(
         seed=point.seed,
         protocol_kwargs=point.protocol_kwargs,
         scenario=point.scenario,
+        checkpointer=serial_checkpointer,
     )
     execution = {"mode": "serial-fallback", "shards": shards, "reason": reason}
     return _stamp_execution(result, execution), {

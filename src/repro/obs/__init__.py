@@ -28,6 +28,7 @@ from repro.obs import events as event_types
 from repro.obs.events import (
     ALL_EVENTS,
     CONTROL_EVENTS,
+    EXECUTOR_EVENTS,
     FAULT_EVENTS,
     NULL_LOG,
     PACKET_EVENTS,
@@ -53,6 +54,7 @@ __all__ = [
     "ALL_EVENTS",
     "CONTROL_EVENTS",
     "Counter",
+    "EXECUTOR_EVENTS",
     "Event",
     "EventLog",
     "FAULT_EVENTS",

@@ -50,6 +50,22 @@ fault injection (see docs/resilience.md)
                     death, node churn, link degradation, transfer loss)
 ``fault.cleared``   a scheduled fault window ended
 ================== ==========================================================
+
+=========================== ==================================================
+executor recovery (see docs/reliability.md)
+=========================== ==================================================
+``executor.checkpoint``      a crash-safe checkpoint was committed to disk
+``executor.resume``          a run restarted from a checkpoint
+``executor.worker_dead``     a shard worker died or missed a barrier deadline
+``executor.worker_restart``  a dead shard worker was restarted from checkpoint
+``executor.fallback``        shard recovery was exhausted; serial fallback
+``executor.interrupt``       SIGINT/SIGTERM flushed a final checkpoint
+``executor.chaos``           the chaos harness injected an executor fault
+=========================== ==================================================
+
+The ``fault.*`` events describe failures *inside the simulated DTN*
+(``repro resilience``); the ``executor.*`` events describe failures of
+the process/IPC/store layer that runs the simulation (``repro chaos``).
 """
 
 from __future__ import annotations
@@ -81,6 +97,15 @@ PREDICTOR_MISS = "predictor_miss"
 FAULT_INJECTED = "fault.injected"
 FAULT_CLEARED = "fault.cleared"
 
+# -- executor recovery --------------------------------------------------------
+EXECUTOR_CHECKPOINT = "executor.checkpoint"
+EXECUTOR_RESUME = "executor.resume"
+EXECUTOR_WORKER_DEAD = "executor.worker_dead"
+EXECUTOR_WORKER_RESTART = "executor.worker_restart"
+EXECUTOR_FALLBACK = "executor.fallback"
+EXECUTOR_INTERRUPT = "executor.interrupt"
+EXECUTOR_CHAOS = "executor.chaos"
+
 PACKET_EVENTS = frozenset(
     {
         GENERATED,
@@ -96,7 +121,18 @@ PACKET_EVENTS = frozenset(
 )
 CONTROL_EVENTS = frozenset({TABLE_EXCHANGE, BW_UPDATE, PREDICTOR_HIT, PREDICTOR_MISS})
 FAULT_EVENTS = frozenset({FAULT_INJECTED, FAULT_CLEARED})
-ALL_EVENTS = PACKET_EVENTS | CONTROL_EVENTS | FAULT_EVENTS
+EXECUTOR_EVENTS = frozenset(
+    {
+        EXECUTOR_CHECKPOINT,
+        EXECUTOR_RESUME,
+        EXECUTOR_WORKER_DEAD,
+        EXECUTOR_WORKER_RESTART,
+        EXECUTOR_FALLBACK,
+        EXECUTOR_INTERRUPT,
+        EXECUTOR_CHAOS,
+    }
+)
+ALL_EVENTS = PACKET_EVENTS | CONTROL_EVENTS | FAULT_EVENTS | EXECUTOR_EVENTS
 
 #: terminal packet-lifecycle states (at most one per packet id)
 TERMINAL_EVENTS = frozenset({DELIVERED, DROPPED_TTL})

@@ -460,6 +460,24 @@ class RoutingProtocol:
     def finalize(self, world: World) -> None:  # pragma: no cover - trivial default
         """Called once after the event loop ends."""
 
+    # -- checkpoint API (see docs/reliability.md) ---------------------------------
+    def detach_runtime(self) -> None:
+        """Drop unpicklable runtime references before a checkpoint pickle.
+
+        The base protocols hold none, so the default clears the optional
+        observability attachments if a subclass set them.  Subclasses that
+        wire closures into their sub-components (observer callbacks) must
+        override both hooks; :meth:`attach_runtime` re-wires them after
+        the pickle (snapshot) or unpickle (restore).
+        """
+        if getattr(self, "_obs", None) is not None:
+            self._obs = None
+        if getattr(self, "_prof", None) is not None:
+            self._prof = None
+
+    def attach_runtime(self, world: World) -> None:
+        """Re-wire runtime references after a snapshot or restore."""
+
     # -- shard API (see docs/scaling.md) -----------------------------------------
     #: whether the protocol's per-node state is self-contained enough to
     #: migrate between shard processes when its carrier crosses a subarea
@@ -779,6 +797,71 @@ class Simulation:
                     payload(world)
                 else:
                     handlers[kind](payload, t)
+
+        world.now = self.trace.end_time
+        with prof.phase("finalize"):
+            self.protocol.finalize(world)
+        provenance = RunProvenance.from_run(
+            self.protocol.name, self.trace.name, self.config, scenario=self.scenario
+        )
+        return world.metrics.summary(
+            self.protocol.name,
+            self.trace.name,
+            provenance=provenance,
+            phase_timings=prof.report() if prof.enabled else None,
+        )
+
+    def run_checkpointed(self, checkpointer) -> MetricsSummary:
+        """:meth:`run` with crash-safe snapshots (docs/reliability.md).
+
+        ``checkpointer`` (a :class:`~repro.sim.checkpoint.SerialCheckpointer`)
+        is asked to ``restore`` state before the loop starts — returning the
+        number of already-dispatched events to skip, 0 for a fresh run —
+        and ``tick``-ed after every dispatched event so it can snapshot on
+        its cadence or turn a deferred signal into a clean stop.  The event
+        stream is re-derived deterministically, so skipping the dispatched
+        prefix lands the resumed run in exactly the pre-crash state and the
+        final metrics are bit-identical to an uninterrupted run.
+
+        Kept separate from :meth:`run` so the hot loop pays nothing for
+        the per-event checkpoint hook; checkpointed runs skip the per-kind
+        dispatch timers (phase timings are excluded from metric equality).
+        """
+        if self.probes:
+            raise ValueError("checkpointed runs do not support probes")
+        prof = self.obs.profiler
+        world = self.world
+        skip = checkpointer.restore(self)
+        if skip == 0:
+            with prof.phase("setup"):
+                self.protocol.setup(world)
+        t0 = perf_counter()
+        events = self._events()
+        prof.add("event_assembly", perf_counter() - t0)
+
+        handlers = (
+            self._handle_fault_edge,
+            self._handle_visit_end,
+            self._handle_generation,
+            self._handle_visit_start,
+        )
+        # on resume the restored clock is the timestamp of the last
+        # dispatched event, so a same-timestamp continuation does not
+        # rewrite world.now — matching run()'s once-per-timestamp write
+        last_t = world.now if skip else None
+        n = 0
+        for t, kind, _, payload in events:
+            n += 1
+            if n <= skip:
+                continue
+            if t != last_t:
+                world.now = t
+                last_t = t
+            if kind == _PROBE:
+                payload(world)
+            else:
+                handlers[kind](payload, t)
+            checkpointer.tick(self, n)
 
         world.now = self.trace.end_time
         with prof.phase("finalize"):

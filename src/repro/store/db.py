@@ -31,6 +31,7 @@ an older database upgrades it in place.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
@@ -78,6 +79,41 @@ def content_hash(obj: Any) -> str:
 
 def _utc_now() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z"
+
+
+#: milliseconds SQLite itself waits on a locked database before raising
+BUSY_TIMEOUT_MS = 5000
+
+#: bounded backoff on top of the pragma, for writers that outlast it
+#: (e.g. a crashed holder whose lock the OS reclaims between attempts)
+_LOCK_ATTEMPTS = 6
+_LOCK_BACKOFF0 = 0.05
+
+
+def _retry_locked(method):
+    """Retry a write method through transient ``database is locked`` errors.
+
+    WAL mode still serializes writers; a concurrent recorder (or a chaos
+    injection holding the write lock) surfaces as
+    ``sqlite3.OperationalError: database is locked`` once the
+    ``busy_timeout`` pragma expires.  Each attempt doubles the sleep; the
+    final error propagates unchanged.  Non-lock operational errors are
+    never retried.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        delay = _LOCK_BACKOFF0
+        for attempt in range(_LOCK_ATTEMPTS):
+            try:
+                return method(self, *args, **kwargs)
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc).lower() or attempt == _LOCK_ATTEMPTS - 1:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+
+    return wrapper
 
 
 #: versioned migrations; entry ``i`` upgrades user_version ``i`` -> ``i+1``
@@ -261,6 +297,7 @@ class ExperimentDB:
         except sqlite3.DatabaseError:  # pragma: no cover - exotic filesystems
             pass
         self._conn.execute("PRAGMA foreign_keys=ON")
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._migrate()
 
     # -- lifecycle ------------------------------------------------------------
@@ -294,6 +331,7 @@ class ExperimentDB:
         return self._conn.execute("PRAGMA user_version").fetchone()[0]
 
     # -- recording ------------------------------------------------------------
+    @_retry_locked
     def record_run(
         self,
         kind: str,
@@ -330,6 +368,7 @@ class ExperimentDB:
             )
         return int(cur.lastrowid)
 
+    @_retry_locked
     def record_point(
         self,
         run_id: int,
@@ -401,6 +440,7 @@ class ExperimentDB:
             )
         return point_id, True
 
+    @_retry_locked
     def record_profile(
         self,
         run_id: int,
@@ -524,6 +564,7 @@ class ExperimentDB:
             else [],
         }
 
+    @_retry_locked
     def record_run_metrics(self, run_id: int, values: Mapping[str, float]) -> None:
         """Attach run-level scalar metrics (e.g. benchmark wall-clock)."""
         with self._conn:
@@ -631,6 +672,7 @@ class ExperimentDB:
         ]
         return self.pin_baseline_rows(name, rows, note=note, replace=replace)
 
+    @_retry_locked
     def pin_baseline_rows(
         self,
         name: str,

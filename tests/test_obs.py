@@ -91,9 +91,14 @@ class TestEventLog:
     def test_taxonomy_partitions(self):
         assert ev.ALL_EVENTS == (
             ev.PACKET_EVENTS | ev.CONTROL_EVENTS | ev.FAULT_EVENTS
+            | ev.EXECUTOR_EVENTS
         )
         assert not (ev.PACKET_EVENTS & ev.CONTROL_EVENTS)
         assert not (ev.FAULT_EVENTS & (ev.PACKET_EVENTS | ev.CONTROL_EVENTS))
+        assert not (
+            ev.EXECUTOR_EVENTS
+            & (ev.PACKET_EVENTS | ev.CONTROL_EVENTS | ev.FAULT_EVENTS)
+        )
         assert ev.TERMINAL_EVENTS <= ev.PACKET_EVENTS
 
     def test_event_as_dict_omits_missing_fields(self):

@@ -399,3 +399,94 @@ class TestSlottedEntityPickle:
         payload = len(pickle.dumps(tiny_trace))
         records_only = len(pickle.dumps(tiny_trace.records))
         assert payload <= records_only + 512
+
+
+# -- crash-safe executor additions (chaos hooks, interrupt carrying) -----------
+
+
+class TestPointExecutionErrorPickle:
+    def test_round_trip_keeps_spec_and_message(self):
+        from repro.eval.runner import PointExecutionError
+
+        err = PointExecutionError(
+            PointSpec(protocol="Direct", memory_kb=500.0, rate=100.0, seed=3),
+            SimConfig(ttl=days(3.0), rate_per_landmark_per_day=100.0,
+                      workload_scale=0.02, time_unit=days(2.0), seed=3),
+            "trace-key",
+            ValueError("landmark 9999"),
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.point == err.point
+        assert clone.trace_key == "trace-key"
+        assert isinstance(clone.cause, ValueError)
+        assert str(clone) == str(err)
+
+
+class TestChaosEnvHooks:
+    """The pool-level chaos injections (repro chaos / docs/reliability.md):
+    an abrupt worker death or a raised task failure must both end in the
+    serial re-run producing results identical to an undisturbed sweep."""
+
+    POINTS = [
+        PointSpec(protocol=name, memory_kb=500.0, rate=150.0, seed=0)
+        for name in ("DTN-FLOW", "PROPHET", "Direct")
+    ]
+
+    def _entries(self, tiny_trace, tiny_profile):
+        spec = TraceSpec.inline(tiny_trace)
+        return [
+            (spec, p, tiny_profile.sim_config(
+                memory_kb=p.memory_kb, rate=p.rate, seed=p.seed))
+            for p in self.POINTS
+        ]
+
+    def test_worker_exit_recovers_via_serial_rerun(
+        self, tiny_trace, tiny_profile, monkeypatch, capsys
+    ):
+        from repro.eval.runner import CHAOS_POOL_EXIT
+
+        entries = self._entries(tiny_trace, tiny_profile)
+        serial = run_point_specs(entries, jobs=1)
+        monkeypatch.setenv(CHAOS_POOL_EXIT, "1")
+        chaotic = run_point_specs(entries, jobs=2)
+        assert chaotic == serial
+        assert "re-running serially" in capsys.readouterr().err
+
+    def test_raised_task_failure_recovers_via_serial_rerun(
+        self, tiny_trace, tiny_profile, monkeypatch, capsys
+    ):
+        from repro.eval.runner import CHAOS_POOL_RAISE
+
+        entries = self._entries(tiny_trace, tiny_profile)
+        serial = run_point_specs(entries, jobs=1)
+        monkeypatch.setenv(CHAOS_POOL_RAISE, "0")
+        chaotic = run_point_specs(entries, jobs=2)
+        assert chaotic == serial
+        assert "re-running serially" in capsys.readouterr().err
+
+
+class TestSweepInterrupted:
+    def test_serial_interrupt_carries_completed_prefix(
+        self, tiny_trace, tiny_profile, monkeypatch
+    ):
+        import repro.eval.runner as runner_mod
+        from repro.eval.runner import SweepInterrupted
+
+        entries = TestChaosEnvHooks()._entries(tiny_trace, tiny_profile)
+        real = runner_mod._serial_one
+        calls = {"n": 0}
+
+        def interrupting(entry, traces, out, i, total, pid, progress):
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return real(entry, traces, out, i, total, pid, progress)
+
+        monkeypatch.setattr(runner_mod, "_serial_one", interrupting)
+        with pytest.raises(SweepInterrupted) as err:
+            run_point_specs(entries, jobs=1)
+        results = err.value.results
+        assert len(results) == len(entries)
+        assert results[0] is not None and results[0].protocol == "DTN-FLOW"
+        assert results[1] is None and results[2] is None
+        assert "1/3 points complete" in str(err.value)

@@ -129,3 +129,33 @@ def test_sharded_metrics_bit_identical_to_committed_baseline(sharded_db, capsys)
     out = capsys.readouterr().out
     assert rc == 0, f"zero-tolerance regress failed under sharding:\n{out}"
     assert "0 failed" in out and "0 missing" in out
+
+
+# -- crash safety: supervised worker restart (docs/reliability.md) -------------
+
+
+@pytest.mark.slow
+def test_killed_shard_worker_restarts_to_identical_metrics(tmp_path):
+    """A shard worker SIGKILL-style death mid-run (abrupt ``os._exit`` at an
+    epoch barrier) must be supervised back from its last epoch checkpoint
+    and still land on serial-identical metrics — the ``repro chaos``
+    kill-worker contract."""
+    from repro.eval.chaos import ChaosSpec, run_chaos
+    from repro.eval.scenario import ScenarioSpec
+
+    spec = ScenarioSpec.from_dict({
+        "name": "kill-worker",
+        "trace": {"profile": "DART", "seed": 1},
+        "sim": {"memory_kb": 2000, "rate": 100, "workload_scale": 0.004},
+        "protocols": ["DTN-FLOW"],
+        "seeds": [1],
+        "shards": 2,
+    }).validate()
+    report, result = run_chaos(
+        spec, ChaosSpec(point=0, kill_shard=(1, 1)),
+        tmp_path / "rd", shards=2, every_events=5000, restart_backoff=0.05,
+    )
+    assert report.ok, report.mismatches
+    assert report.recovery_events.get("executor.worker_dead", 0) >= 1
+    assert report.recovery_events.get("executor.worker_restart", 0) >= 1
+    assert result.results[0] is not None
