@@ -59,6 +59,7 @@ from repro.eval.scenario import (
     ScenarioResult,
     ScenarioSpec,
     load_scenario,
+    preset_catalog,
     preset_names,
     rerun_scenario,
     run_scenario,
@@ -478,8 +479,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_scenario(args: argparse.Namespace) -> int:
     if args.action == "list":
+        # the catalog is the same payload GET /v1/scenarios serves
+        catalog = preset_catalog()
+        if getattr(args, "json", False):
+            print(json.dumps(catalog, indent=2, sort_keys=True))
+            return 0
+        rows = []
+        for entry in catalog:
+            trace = entry["trace"]
+            sweep = entry.get("sweep")
+            rows.append([
+                entry["name"],
+                trace.get("profile") or trace.get("path"),
+                entry["n_points"],
+                len(entry["protocols"]),
+                f"{sweep['parameter']} x{len(sweep['values'])}" if sweep else "-",
+            ])
         print(format_table(
-            ["preset"], [[n] for n in preset_names()],
+            ["preset", "trace", "points", "protocols", "sweep"], rows,
             title="named preset scenarios:",
         ))
         return 0
@@ -1255,6 +1272,42 @@ def cmd_db_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import make_server
+
+    db_path = _store_path(args) if (args.db or args.record) else None
+    try:
+        server = make_server(
+            args.host, args.port,
+            run_root=args.run_root,
+            db_path=db_path,
+            jobs=parse_jobs(args.jobs),
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    recovered = sum(
+        1 for j in server.manager.list_jobs() if j.state == "queued"
+    )
+    print(f"repro serve: listening on http://{host}:{port}", file=sys.stderr)
+    if recovered:
+        print(f"repro serve: re-queued {recovered} unfinished job(s)",
+              file=sys.stderr)
+    if db_path:
+        print(f"repro serve: recording into {db_path}", file=sys.stderr)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down (unfinished jobs stay resumable)",
+              file=sys.stderr)
+    finally:
+        server.manager.stop()
+        server.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1437,7 +1490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="FILE",
                    help="(run) write the full results JSON to FILE")
     p.add_argument("--json", action="store_true",
-                   help="(run) print the full results JSON to stdout")
+                   help="(run/list) print the results / preset catalog as JSON")
     p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser(
@@ -1656,6 +1709,40 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--json", action="store_true",
                    help="emit the JSON report instead of markdown")
     q.set_defaults(func=cmd_db_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running experiment service: REST jobs, SSE streams, "
+             "wall-clock replay",
+        description="Serve the harness over HTTP (stdlib only): submit "
+                    "scenario manifests as durable jobs (POST /v1/jobs), "
+                    "stream per-point progress live (GET "
+                    "/v1/jobs/<id>/events), query the experiment store, and "
+                    "replay recorded traces at wall-clock speed (POST "
+                    "/v1/replay). Jobs run in crash-safe run directories: "
+                    "kill the server and a restart with the same --run-root "
+                    "resumes every unfinished job (see docs/service.md).",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8731,
+                   help="bind port (0 = ephemeral; default 8731)")
+    p.add_argument("--run-root", default="serve-runs", metavar="DIR",
+                   help="directory of per-job durable state + run dirs "
+                        "(default ./serve-runs); reuse it across restarts "
+                        "to recover unfinished jobs")
+    p.add_argument("--jobs", default="1", metavar="N",
+                   help="worker processes shared by all jobs ('auto' = all "
+                        "cores; default 1 = in-process serial execution "
+                        "with mid-point checkpointing)")
+    p.add_argument("--record", action="store_true",
+                   help="record every completed job into the experiment "
+                        "store (same ingest path as scenario run --record)")
+    p.add_argument("--db", default=None, metavar="PATH",
+                   help="experiment store path (implies --record; default: "
+                        "$REPRO_DB or ./experiments.sqlite)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("deployment", help="the Section V-C campus deployment")
     p.add_argument("--days", type=int, default=6)

@@ -26,11 +26,13 @@ any kill/resume sequence.  See docs/reliability.md.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.eval.experiment import ExperimentResult, execute_config
-from repro.eval.runner import SweepInterrupted
+from repro.eval.runner import ProgressEvent, ProgressFn, SweepInterrupted
 from repro.eval.scenario import ScenarioResult, ScenarioSpec
 from repro.eval.sharded import execute_point_sharded
 from repro.obs import events as event_types
@@ -134,6 +136,10 @@ def run_resumable(
     max_restarts: int = 2,
     restart_backoff: float = 0.5,
     injections: Optional[Mapping[int, Mapping[str, Any]]] = None,
+    progress: Optional[ProgressFn] = None,
+    flag: Optional[InterruptFlag] = None,
+    on_result: Optional[Callable[[int, ExperimentResult], None]] = None,
+    trace_cache: Optional[Dict[str, Any]] = None,
 ) -> Tuple[ScenarioResult, List[Optional[Dict[str, Any]]]]:
     """Run (or continue) every point of ``spec`` inside ``run_dir``.
 
@@ -153,6 +159,24 @@ def run_resumable(
     optional ``chaos_kill`` (``(shard, epoch)`` forwarded to the shard
     worker) and ``crash_after_saves`` (forwarded to the serial
     checkpointer) keys.  Production callers leave it ``None``.
+
+    Job-level hooks (used by ``repro serve``, harmless elsewhere):
+
+    * ``progress`` receives a :class:`~repro.eval.runner.ProgressEvent`
+      as each point starts and finishes.  Points restored from a committed
+      ``result.ckpt`` emit a single ``finished`` event with
+      ``seconds=None`` so consumers can count them without re-timing them.
+    * ``flag`` supplies an externally-owned
+      :class:`~repro.sim.checkpoint.InterruptFlag`; setting its
+      ``triggered`` attribute from another thread cancels the run at the
+      next checkpoint tick (in-flight state flushed, the usual
+      :class:`SweepInterrupted` raised).  Default: a fresh flag wired to
+      SIGINT/SIGTERM (signal handlers only install on the main thread).
+    * ``on_result`` is called with ``(index, result)`` right after a
+      point's ``result.ckpt`` commits — metrics stream out as they land
+      instead of when the whole grid finishes.
+    * ``trace_cache`` (keyed by trace-spec key) shares materialized traces
+      across calls, so a long-running server rebuilds each trace once.
     """
     effective_shards = shards if shards is not None else spec.shards
     profile, tspec, materialized = spec.resolve_trace()
@@ -164,7 +188,22 @@ def run_resumable(
     points = [point for _, point, _ in entries]
     results: List[Optional[ExperimentResult]] = [None] * len(entries)
     infos: List[Optional[Dict[str, Any]]] = [None] * len(entries)
-    with InterruptFlag() as flag:
+    total = len(entries)
+    pid = os.getpid()
+
+    def emit(kind: str, i: int, point: Any, seconds: Optional[float]) -> None:
+        if progress is None:
+            return
+        try:
+            progress(ProgressEvent(
+                kind=kind, index=i, total=total, protocol=point.protocol,
+                memory_kb=point.memory_kb, rate=point.rate, seed=point.seed,
+                seconds=seconds, pid=pid,
+            ))
+        except Exception:  # telemetry must never break the run
+            pass
+
+    with (flag if flag is not None else InterruptFlag()) as flag:
         for i, (_tspec, point, config) in enumerate(entries):
             cached = run_dir.load_result(i)
             if cached is not None:
@@ -174,6 +213,9 @@ def run_resumable(
                     event_types.EXECUTOR_RESUME, kind="point",
                     index=i, protocol=point.protocol,
                 )
+                emit("finished", i, point, None)
+                if on_result is not None:
+                    on_result(i, cached["result"])
                 continue
             if flag.triggered:
                 recovery.emit(
@@ -182,9 +224,14 @@ def run_resumable(
                 )
                 raise SweepInterrupted(results)
             if trace is None:
-                trace = materialized.get(tspec.key)
+                if trace_cache is not None:
+                    trace = trace_cache.get(tspec.key)
+                if trace is None:
+                    trace = materialized.get(tspec.key)
                 if trace is None:
                     trace = tspec.materialize()
+                if trace_cache is not None:
+                    trace_cache.setdefault(tspec.key, trace)
             inj = dict(injections.get(i) or {})
             point_dir = run_dir.point_dir(i)
             checkpointer = SerialCheckpointer(
@@ -194,6 +241,8 @@ def run_resumable(
                 recovery=recovery,
                 crash_after_saves=inj.get("crash_after_saves"),
             )
+            emit("started", i, point, None)
+            t0 = perf_counter()
             try:
                 if effective_shards is not None and effective_shards >= 2:
                     result, info = execute_point_sharded(
@@ -226,6 +275,9 @@ def run_resumable(
             run_dir.write_result(i, {"index": i, "result": result, "info": info})
             results[i] = result
             infos[i] = info
+            emit("finished", i, point, perf_counter() - t0)
+            if on_result is not None:
+                on_result(i, result)
     return (
         ScenarioResult(spec=spec, points=points, results=list(results)),
         infos,

@@ -53,6 +53,7 @@ __all__ = [
     "point_scenario_dict",
     "run_point_specs",
     "run_points",
+    "run_tagged_task",
 ]
 
 #: chaos hooks (set by ``repro chaos`` / tests): the index of the sweep point
@@ -396,6 +397,43 @@ def _run_task(
     return idx, result
 
 
+def run_tagged_task(
+    tag: str, idx: int, trace_spec: TraceSpec, point: PointSpec, config: SimConfig
+) -> Tuple[str, int, ExperimentResult]:
+    """Pool task for long-lived executors (``repro serve``'s shared fleet).
+
+    Unlike :func:`_run_task`, the :class:`TraceSpec` travels with the task
+    and registers itself into the worker's spec table on arrival — a pool
+    created before the spec existed (a server accepting jobs for its whole
+    lifetime) still gets the per-worker trace cache, warm across jobs.
+    Progress records lead with ``tag`` so one shared drain thread can route
+    heartbeats to the submitting job.
+    """
+    _WORKER_SPECS.setdefault(trace_spec.key, trace_spec)
+    pid = os.getpid()
+    _worker_put(
+        (tag, "started", idx, point.protocol, point.memory_kb, point.rate,
+         point.seed, None, pid)
+    )
+    trace = _worker_trace(trace_spec.key)
+    t0 = perf_counter()
+    result = execute_config(
+        trace,
+        point.protocol,
+        config,
+        memory_kb=point.memory_kb,
+        rate=point.rate,
+        seed=point.seed,
+        protocol_kwargs=point.protocol_kwargs,
+        scenario=point.scenario,
+    )
+    _worker_put(
+        (tag, "finished", idx, point.protocol, point.memory_kb, point.rate,
+         point.seed, perf_counter() - t0, pid)
+    )
+    return tag, idx, result
+
+
 def _rerun_entry_serial(
     entry: Entry, traces: Dict[str, Trace]
 ) -> ExperimentResult:
@@ -418,9 +456,18 @@ def _rerun_entry_serial(
 
 
 def _progress_drainer(
-    queue: Any, progress: ProgressFn, total: int
+    queue: Any, progress: ProgressFn, total: int,
+    stop: Optional[threading.Event] = None,
 ) -> threading.Thread:
-    """Forward worker heartbeat records to the parent-side callback."""
+    """Forward worker heartbeat records to the parent-side callback.
+
+    ``stop`` suppresses further callback invocations the moment it is set —
+    on SIGTERM/interrupt the pool is abandoned without waiting, and without
+    the gate a straggling worker's heartbeats would keep printing to stderr
+    after the sweep already unwound (the drain thread can outlive the pool).
+    The thread still consumes the queue until the sentinel arrives so the
+    Manager process can shut down cleanly.
+    """
 
     def drain() -> None:
         while True:
@@ -430,6 +477,8 @@ def _progress_drainer(
                 return
             if item == _PROGRESS_SENTINEL:
                 return
+            if stop is not None and stop.is_set():
+                continue  # drain silently: no post-shutdown heartbeats
             try:
                 kind, idx, protocol, memory_kb, rate, seed, seconds, pid = item
             except Exception:
@@ -485,6 +534,7 @@ def _run_pool(
     manager = None
     queue = None
     drainer = None
+    drain_stop = threading.Event()
     if progress is not None:
         try:
             manager = multiprocessing.Manager()
@@ -493,7 +543,7 @@ def _run_pool(
             manager = None
             queue = None
         if queue is not None:
-            drainer = _progress_drainer(queue, progress, len(entries))
+            drainer = _progress_drainer(queue, progress, len(entries), drain_stop)
     pool = ProcessPoolExecutor(
         max_workers=n_jobs, initializer=_pool_init, initargs=(specs, queue)
     )
@@ -534,8 +584,10 @@ def _run_pool(
                     failed.append((i, exc))
     except KeyboardInterrupt:
         # abandon in-flight points but surface the finished ones so the
-        # caller can record them and resume the sweep later
+        # caller can record them and resume the sweep later; gate the drain
+        # thread first so straggler heartbeats don't print mid-unwind
         unhealthy = True
+        drain_stop.set()
         raise SweepInterrupted(results) from None
     finally:
         pool.shutdown(wait=not unhealthy, cancel_futures=True)
@@ -545,6 +597,8 @@ def _run_pool(
             except Exception:
                 pass
             drainer.join(timeout=5.0)
+            # a hung join leaves the thread alive; make sure it stays mute
+            drain_stop.set()
         if manager is not None:
             try:
                 manager.shutdown()

@@ -62,6 +62,7 @@ __all__ = [
     "SweepSpec",
     "extract_scenarios",
     "load_scenario",
+    "preset_catalog",
     "preset_names",
     "preset_scenario",
     "run_scenario",
@@ -657,6 +658,29 @@ _PRESETS: Dict[str, Callable[[], ScenarioSpec]] = {
 def preset_names() -> List[str]:
     """All named preset scenarios."""
     return sorted(_PRESETS)
+
+
+def preset_catalog() -> List[Dict[str, Any]]:
+    """Machine-readable preset descriptions (one dict per preset).
+
+    The single source for ``repro scenario list --json`` and the service's
+    ``GET /v1/scenarios`` endpoint: name, grid size, protocols, trace and
+    sweep axis, cheap enough to build on every request.
+    """
+    out: List[Dict[str, Any]] = []
+    for name in preset_names():
+        spec = preset_scenario(name)
+        entry: Dict[str, Any] = {
+            "name": name,
+            "n_points": spec.n_points(),
+            "trace": spec.trace.as_dict(),
+            "protocols": [p.name for p in spec.protocols],
+            "seeds": list(spec.seeds),
+        }
+        if spec.sweep is not None:
+            entry["sweep"] = spec.sweep.as_dict()
+        out.append(entry)
+    return out
 
 
 def preset_scenario(name: str) -> ScenarioSpec:

@@ -74,7 +74,7 @@ import json
 from collections import Counter as _Counter
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 # -- packet lifecycle ---------------------------------------------------------
 GENERATED = "generated"
@@ -181,6 +181,12 @@ class EventLog:
         When False every :meth:`emit` is a no-op.  Callers on hot paths
         should additionally guard on :attr:`enabled` (or a cached copy)
         so argument construction itself is skipped.
+
+    A *tap* (:attr:`tap`) is a callback invoked synchronously with every
+    recorded :class:`Event`, before ring-buffer eviction can lose it — the
+    live-streaming hook behind ``repro serve``'s SSE replay endpoint.  The
+    tap runs on the emitting (engine) thread; a slow tap slows the
+    simulation down, which is exactly what wall-clock replay wants.
     """
 
     def __init__(self, capacity: int = 200_000, *, enabled: bool = True) -> None:
@@ -190,6 +196,7 @@ class EventLog:
         self.enabled = bool(enabled)
         self._buf: deque = deque(maxlen=self.capacity)
         self.n_emitted = 0
+        self.tap: Optional[Callable[[Event], None]] = None
 
     # -- recording ---------------------------------------------------------------
     def emit(
@@ -206,7 +213,10 @@ class EventLog:
         if not self.enabled:
             return
         self.n_emitted += 1
-        self._buf.append(Event(t, etype, packet, node, landmark, data or None))
+        event = Event(t, etype, packet, node, landmark, data or None)
+        self._buf.append(event)
+        if self.tap is not None:
+            self.tap(event)
 
     # -- queries ------------------------------------------------------------------
     def __len__(self) -> int:

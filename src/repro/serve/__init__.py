@@ -1,0 +1,38 @@
+"""``repro serve``: a long-running experiment service over the harness.
+
+Four pieces, layered bottom-up (see docs/service.md):
+
+* :mod:`repro.serve.sse` — per-job event buffers + SSE wire framing;
+* :mod:`repro.serve.jobs` — the durable FIFO job manager: validated
+  scenario submissions, PR-9 run directories per job (kill -9 the server
+  and a restart resumes every unfinished job at zero-tolerance metric
+  parity), store recording through the same ingest path as
+  ``repro scenario run --record``;
+* :mod:`repro.serve.replay` — wall-clock trace replay: a recorded
+  scenario re-runs live with its event stream paced to real time;
+* :mod:`repro.serve.app` — the stdlib ``ThreadingHTTPServer`` REST/SSE
+  surface, plus :mod:`repro.serve.client`, the urllib client used by the
+  tests, CI smoke and examples.
+
+Everything is standard library only — no new dependencies.
+"""
+
+from repro.serve.app import ReproServer, make_server
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobManager, TERMINAL_STATES
+from repro.serve.replay import ReplayRequest, replay_stream
+from repro.serve.sse import EventStream, sse_frame
+
+__all__ = [
+    "EventStream",
+    "Job",
+    "JobManager",
+    "ReplayRequest",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "TERMINAL_STATES",
+    "make_server",
+    "replay_stream",
+    "sse_frame",
+]

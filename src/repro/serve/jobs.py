@@ -1,0 +1,738 @@
+"""The experiment service's job plane: durable queue, dispatch, recovery.
+
+A *job* is one validated :class:`~repro.eval.scenario.ScenarioSpec`
+submitted over the API.  Every job owns a directory under the manager's
+run root::
+
+    <run-root>/job-0001/
+      job.json        durable state record (atomic rewrite per transition)
+      run/            a PR-9 resumable run directory (manifest, per-point
+                      result.ckpt files, serial checkpoints, recovery log)
+
+``job.json`` is the restart contract: a server killed outright (power
+loss, ``kill -9``) comes back, re-queues every job whose durable state is
+``queued`` or ``running``, and :func:`~repro.eval.resume.run_resumable`
+skips the points whose results already committed — metrics land
+bit-identical to an uninterrupted run (docs/reliability.md).
+
+Execution is strict FIFO through one dispatcher thread.  With ``jobs=1``
+each point runs in-process under the serial checkpointer (mid-point
+crash-safety and mid-point cancellation).  With ``jobs>=2`` the manager
+owns a long-lived shared :class:`ProcessPoolExecutor`: points fan out via
+:func:`~repro.eval.runner.run_tagged_task` (per-worker trace caches stay
+warm across jobs), each completed point commits its ``result.ckpt`` from
+the dispatcher, and a tagged drain thread routes worker heartbeats to the
+right job's event stream.
+
+State machine: ``queued -> running -> done | failed | cancelled``; an
+interrupted-but-not-cancelled job (graceful shutdown) transitions back to
+``queued`` so the next start resumes it.  Completed jobs record into the
+experiment store through the very same
+:func:`~repro.store.ingest.ingest_scenario_result` path as
+``repro scenario run --record`` — content-hash dedup makes an HTTP
+re-submission of an already-recorded scenario a store no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import threading
+import time
+from concurrent.futures import CancelledError, Future, as_completed
+from concurrent.futures import ProcessPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.eval.experiment import ExperimentResult, execute_config
+from repro.eval.resume import create_run, run_resumable
+from repro.eval.runner import (
+    _PROGRESS_SENTINEL,
+    ProgressEvent,
+    SweepInterrupted,
+    _pool_init,
+    parse_jobs,
+    run_tagged_task,
+)
+from repro.eval.scenario import ScenarioResult, ScenarioSpec, load_scenario
+from repro.serve.sse import EventStream
+from repro.sim.checkpoint import (
+    DEFAULT_EVERY_EVENTS,
+    CheckpointError,
+    InterruptFlag,
+    RunDir,
+    atomic_write_bytes,
+)
+from repro.store import (
+    ExperimentDB,
+    content_hash,
+    ingest_experiment_results,
+    ingest_scenario_result,
+)
+
+__all__ = ["Job", "JobManager", "TERMINAL_STATES"]
+
+#: states a job never leaves
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+JOB_FILE = "job.json"
+RUN_SUBDIR = "run"
+
+
+def _iso(ts: Optional[float]) -> Optional[str]:
+    if ts is None:
+        return None
+    return datetime.fromtimestamp(ts, timezone.utc).isoformat()
+
+
+class Job:
+    """One submitted scenario and its live/durable execution state."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: ScenarioSpec,
+        path: Path,
+        *,
+        label: str = "",
+        submitted_at: Optional[float] = None,
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.scenario = spec.as_dict()
+        self.content_hash = content_hash(self.scenario)
+        self.path = Path(path)
+        self.label = label or spec.name or job_id
+        self.state = "queued"
+        self.submitted_at = time.time() if submitted_at is None else submitted_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.n_points = spec.n_points()
+        self.done_points = 0
+        self.recorded: Optional[str] = None
+        self.cancel_requested = False
+        self.stream = EventStream()
+        #: externally-owned interrupt flag; setting ``triggered`` cancels
+        #: the in-flight serial point at its next checkpoint tick
+        self.flag = InterruptFlag()
+        #: pool futures of the in-flight job (pool mode cancellation hook)
+        self.futures: List[Future] = []
+        #: per-point wall seconds streamed by pool workers (tagged drain)
+        self.point_seconds: Dict[int, float] = {}
+        self._done_indexes: set = set()
+
+    @property
+    def run_path(self) -> Path:
+        return self.path / RUN_SUBDIR
+
+    def durable_dict(self) -> Dict[str, Any]:
+        """What survives a restart (written to ``job.json``)."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "label": self.label,
+            "scenario": self.scenario,
+            "content_hash": self.content_hash,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "n_points": self.n_points,
+            "done_points": self.done_points,
+            "recorded": self.recorded,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The API-facing job record."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "name": self.spec.name,
+            "label": self.label,
+            "content_hash": self.content_hash,
+            "n_points": self.n_points,
+            "done_points": self.done_points,
+            "submitted_at": _iso(self.submitted_at),
+            "started_at": _iso(self.started_at),
+            "finished_at": _iso(self.finished_at),
+            "error": self.error,
+            "recorded": self.recorded,
+            "cancel_requested": self.cancel_requested,
+        }
+
+    def point_results(self) -> List[Optional[Dict[str, Any]]]:
+        """Committed per-point metrics, index-aligned (None = not done).
+
+        Read from the run directory's framed ``result.ckpt`` files, so a
+        cancelled job reports exactly its checkpointed partial.
+        """
+        rd = RunDir(self.run_path)
+        out: List[Optional[Dict[str, Any]]] = []
+        for i in range(self.n_points):
+            cached = rd.load_result(i) if rd.exists() else None
+            if cached is None:
+                out.append(None)
+                continue
+            result: ExperimentResult = cached["result"]
+            metrics = result.metrics.as_dict()
+            metrics.pop("provenance", None)
+            out.append(
+                {
+                    "index": i,
+                    "protocol": result.protocol,
+                    "memory_kb": result.memory_kb,
+                    "rate": result.rate,
+                    "seed": result.seed,
+                    "metrics": metrics,
+                }
+            )
+        return out
+
+
+class JobManager:
+    """FIFO scenario-job executor with durable restart recovery."""
+
+    def __init__(
+        self,
+        run_root: Union[str, Path],
+        *,
+        db_path: Optional[str] = None,
+        jobs: Union[int, str, None] = 1,
+        every_events: int = DEFAULT_EVERY_EVENTS,
+    ) -> None:
+        self.run_root = Path(run_root)
+        self.run_root.mkdir(parents=True, exist_ok=True)
+        self.db_path = db_path
+        self.jobs = parse_jobs(jobs)
+        self.every_events = int(every_events)
+        self.trace_cache: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+        self._db_lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._counter = 1
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stop = threading.Event()
+        self._abandoned = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_manager = None
+        self._pool_queue = None
+        self._drainer: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> List[Job]:
+        """Recover durable jobs, start the pool (if any) and the dispatcher.
+
+        Returns the jobs re-queued from a previous process's ``queued`` /
+        ``running`` state (the kill-and-restart recovery path).
+        """
+        recovered = self._recover()
+        if self.jobs > 1:
+            self._start_pool()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        return recovered
+
+    def stop(self, *, abandon: bool = False, timeout: float = 10.0) -> None:
+        """Stop dispatching.
+
+        Graceful (default): the in-flight job checkpoints, transitions back
+        to ``queued`` on disk, and every stream closes — a later
+        :meth:`start` (same run root) resumes exactly where this left off.
+
+        ``abandon=True`` emulates ``kill -9`` for tests: nothing further is
+        persisted, so the durable state still claims ``running``/``queued``
+        and recovery has real work to do.
+        """
+        with self._lock:
+            self._abandoned = self._abandoned or abandon
+            self._stop.set()
+            for job in self._jobs.values():
+                if job.state == "running":
+                    job.flag.triggered = True
+                    job.flag.signum = signal.SIGTERM
+                    for future in job.futures:
+                        future.cancel()
+        self._queue.put(None)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+        self._shutdown_pool(wait=not abandon)
+        with self._lock:
+            for job in self._jobs.values():
+                job.stream.close()
+
+    def _start_pool(self) -> None:
+        try:
+            import multiprocessing
+
+            self._pool_manager = multiprocessing.Manager()
+            self._pool_queue = self._pool_manager.Queue()
+        except Exception:  # restricted env: run the pool without heartbeats
+            self._pool_manager = None
+            self._pool_queue = None
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_pool_init,
+            initargs=({}, self._pool_queue),
+        )
+        if self._pool_queue is not None:
+            self._drainer = threading.Thread(
+                target=self._drain_tagged, name="repro-serve-drain", daemon=True
+            )
+            self._drainer.start()
+
+    def _shutdown_pool(self, *, wait: bool) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+        if self._pool_queue is not None:
+            try:
+                self._pool_queue.put(_PROGRESS_SENTINEL)
+            except Exception:
+                pass
+        if self._drainer is not None:
+            self._drainer.join(timeout=5.0)
+            self._drainer = None
+        if self._pool_manager is not None:
+            try:
+                self._pool_manager.shutdown()
+            except Exception:
+                pass
+            self._pool_manager = None
+
+    def _drain_tagged(self) -> None:
+        """Route pool-worker heartbeats to the submitting job's stream."""
+        while True:
+            try:
+                item = self._pool_queue.get()
+            except Exception:
+                return
+            if item == _PROGRESS_SENTINEL:
+                return
+            try:
+                tag, kind, idx, protocol, memory_kb, rate, seed, seconds, pid = item
+            except Exception:
+                continue
+            job = self._jobs.get(tag)
+            if job is None or job.stream.closed:
+                continue
+            if kind == "started":
+                job.stream.publish(
+                    "point.started",
+                    {
+                        "index": idx,
+                        "total": job.n_points,
+                        "protocol": protocol,
+                        "memory_kb": memory_kb,
+                        "rate": rate,
+                        "seed": seed,
+                        "pid": pid,
+                    },
+                )
+            elif seconds is not None:
+                job.point_seconds[idx] = seconds
+
+    # -- submission / inspection ---------------------------------------------------
+    def submit(
+        self, source: Union[str, Mapping[str, Any], ScenarioSpec], *, label: str = ""
+    ) -> Job:
+        """Validate and enqueue one scenario; returns the queued job.
+
+        ``source`` is a manifest dict, a preset name / manifest path, or an
+        already-built spec.  Validation failures raise ``ValueError`` before
+        anything is enqueued or persisted.
+        """
+        if isinstance(source, ScenarioSpec):
+            spec = source
+        elif isinstance(source, str):
+            spec = load_scenario(source)
+        elif isinstance(source, Mapping):
+            spec = ScenarioSpec.from_dict(source)
+        else:
+            raise ValueError(
+                f"scenario must be a dict, preset/path string or spec, "
+                f"got {type(source).__name__}"
+            )
+        spec = spec.validate()
+        # the whole transaction holds the lock so concurrent submitters
+        # enqueue in id order — FIFO means FIFO even under racing clients
+        with self._lock:
+            if self._stop.is_set():
+                raise RuntimeError("job manager is stopped")
+            job_id = f"job-{self._counter:04d}"
+            self._counter += 1
+            job = Job(job_id, spec, self.run_root / job_id, label=label)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            job.path.mkdir(parents=True, exist_ok=True)
+            self._persist(job)
+            job.stream.publish(
+                "job.queued",
+                {
+                    "id": job.id,
+                    "name": spec.name,
+                    "n_points": job.n_points,
+                    "content_hash": job.content_hash,
+                },
+            )
+            self._queue.put(job_id)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"no such job: {job_id!r}")
+        return job
+
+    def list_jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[j] for j in self._order]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: dequeue it, or interrupt its in-flight execution.
+
+        A running job stops at the next checkpoint boundary; every point
+        already committed stays committed (the run directory holds a
+        resumable partial).  Terminal jobs are a no-op.
+        """
+        with self._lock:
+            job = self.get(job_id)
+            if job.state in TERMINAL_STATES:
+                return job
+            job.cancel_requested = True
+            if job.state == "queued":
+                self._finish(job, "cancelled", event="job.cancelled")
+                return job
+            # running: serial mode stops via the interrupt flag at the next
+            # checkpoint tick; pool mode cancels the not-yet-started futures
+            job.flag.triggered = True
+            job.flag.signum = signal.SIGTERM
+            for future in job.futures:
+                future.cancel()
+        return job
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    # -- durable state --------------------------------------------------------------
+    def _persist(self, job: Job) -> None:
+        if self._abandoned:
+            return  # emulated hard kill: the durable state stays stale
+        atomic_write_bytes(
+            job.path / JOB_FILE,
+            json.dumps(job.durable_dict(), indent=2, sort_keys=True).encode("utf-8"),
+        )
+
+    def _recover(self) -> List[Job]:
+        """Load every durable job record; re-queue the unfinished ones."""
+        recovered: List[Job] = []
+        records: List[Dict[str, Any]] = []
+        for child in sorted(self.run_root.iterdir()):
+            job_file = child / JOB_FILE
+            if not job_file.is_file():
+                continue
+            try:
+                data = json.loads(job_file.read_text(encoding="utf-8"))
+                spec = ScenarioSpec.from_dict(data["scenario"])
+            except (OSError, ValueError, KeyError) as exc:
+                raise CheckpointError(
+                    f"unreadable job record {job_file}: {exc}"
+                ) from exc
+            records.append({"path": child, "spec": spec, "data": data})
+        records.sort(key=lambda r: (r["data"].get("submitted_at") or 0, r["data"]["id"]))
+        with self._lock:
+            for rec in records:
+                data = rec["data"]
+                job = Job(
+                    data["id"],
+                    rec["spec"],
+                    rec["path"],
+                    label=data.get("label", ""),
+                    submitted_at=data.get("submitted_at"),
+                )
+                job.started_at = data.get("started_at")
+                job.finished_at = data.get("finished_at")
+                job.error = data.get("error")
+                job.done_points = int(data.get("done_points") or 0)
+                job.recorded = data.get("recorded")
+                previous = data.get("state", "queued")
+                self._jobs[job.id] = job
+                self._order.append(job.id)
+                try:
+                    n = int(job.id.rsplit("-", 1)[-1])
+                except ValueError:
+                    n = 0
+                self._counter = max(self._counter, n + 1)
+                if previous in TERMINAL_STATES:
+                    job.state = previous
+                    job.stream.publish(f"job.{previous}", job.as_dict())
+                    job.stream.close()
+                    continue
+                job.state = "queued"
+                self._persist(job)
+                job.stream.publish(
+                    "job.requeued", {"id": job.id, "previous_state": previous}
+                )
+                recovered.append(job)
+        for job in recovered:
+            self._queue.put(job.id)
+        return recovered
+
+    # -- dispatch --------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if job_id is None:
+                return
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                continue
+            try:
+                self._execute(job)
+            except Exception as exc:  # never kill the dispatcher
+                self._fail(job, f"{type(exc).__name__}: {exc}")
+
+    def _publish_finished_point(
+        self, job: Job, index: int, result: ExperimentResult,
+        seconds: Optional[float],
+    ) -> None:
+        if index not in job._done_indexes:
+            job._done_indexes.add(index)
+            job.done_points = len(job._done_indexes)
+        elapsed = time.time() - (job.started_at or time.time())
+        remaining = job.n_points - job.done_points
+        eta = (
+            elapsed / job.done_points * remaining if job.done_points else None
+        )
+        metrics = result.metrics.as_dict()
+        metrics.pop("provenance", None)
+        job.stream.publish(
+            "point.finished",
+            {
+                "index": index,
+                "total": job.n_points,
+                "done": job.done_points,
+                "protocol": result.protocol,
+                "memory_kb": result.memory_kb,
+                "rate": result.rate,
+                "seed": result.seed,
+                "seconds": seconds,
+                "eta_seconds": round(eta, 3) if eta is not None else None,
+                "metrics": metrics,
+            },
+        )
+
+    def _execute(self, job: Job) -> None:
+        with self._lock:
+            if job.cancel_requested or self._stop.is_set():
+                if job.state not in TERMINAL_STATES:
+                    self._finish(job, "cancelled", event="job.cancelled")
+                return
+            job.state = "running"
+            job.started_at = time.time()
+        self._persist(job)
+        job.stream.publish("job.started", {"id": job.id, "n_points": job.n_points})
+        try:
+            rd = create_run(
+                job.run_path, job.spec, every_events=self.every_events
+            )
+        except CheckpointError as exc:
+            self._fail(job, str(exc))
+            return
+
+        def progress(ev: ProgressEvent) -> None:
+            if ev.kind == "started":
+                job.stream.publish(
+                    "point.started",
+                    {
+                        "index": ev.index,
+                        "total": ev.total,
+                        "protocol": ev.protocol,
+                        "memory_kb": ev.memory_kb,
+                        "rate": ev.rate,
+                        "seed": ev.seed,
+                        "pid": ev.pid,
+                    },
+                )
+            elif ev.seconds is not None:
+                job.point_seconds[ev.index] = ev.seconds
+
+        def on_result(index: int, result: ExperimentResult) -> None:
+            self._publish_finished_point(
+                job, index, result, job.point_seconds.get(index)
+            )
+
+        try:
+            if self._pool is not None:
+                res = self._execute_pool(job, rd, on_result)
+            else:
+                res, _infos = run_resumable(
+                    job.spec,
+                    rd,
+                    every_events=self.every_events,
+                    progress=progress,
+                    flag=job.flag,
+                    on_result=on_result,
+                    trace_cache=self.trace_cache,
+                )
+        except SweepInterrupted as exc:
+            self._interrupted(job, exc.results)
+            return
+        except Exception as exc:
+            self._fail(job, f"{type(exc).__name__}: {exc}")
+            return
+        stats = self._record(job, res)
+        if stats is not None:
+            job.recorded = str(stats)
+        self._finish(job, "done", event="job.finished")
+
+    def _execute_pool(self, job: Job, rd: RunDir, on_result) -> ScenarioResult:
+        """Fan one job's points over the shared long-lived worker pool.
+
+        Committed points are served from the run directory; the rest ship
+        as tagged tasks.  Each completed future commits its ``result.ckpt``
+        from this (dispatcher) thread, so crash-safety is per-point.  A
+        failed task re-runs in-process once before failing the job.
+        """
+        entries = job.spec.entries()
+        results: List[Optional[ExperimentResult]] = [None] * len(entries)
+        pending: List[int] = []
+        for i, (tspec, point, config) in enumerate(entries):
+            cached = rd.load_result(i)
+            if cached is not None:
+                results[i] = cached["result"]
+                on_result(i, cached["result"])
+            else:
+                pending.append(i)
+        if pending and not (job.cancel_requested or self._stop.is_set()):
+            futures: Dict[Future, int] = {}
+            with self._lock:
+                for i in pending:
+                    tspec, point, config = entries[i]
+                    futures[
+                        self._pool.submit(
+                            run_tagged_task, job.id, i, tspec, point, config
+                        )
+                    ] = i
+                job.futures = list(futures)
+            for future in as_completed(futures):
+                i = futures[future]
+                if job.cancel_requested or self._stop.is_set():
+                    for other in futures:
+                        other.cancel()
+                try:
+                    _tag, idx, result = future.result()
+                except CancelledError:
+                    continue
+                except Exception:
+                    if job.cancel_requested or self._stop.is_set():
+                        continue
+                    # one in-process retry, same path as the sweep executor
+                    tspec, point, config = entries[i]
+                    trace = self.trace_cache.get(tspec.key)
+                    if trace is None:
+                        trace = tspec.materialize()
+                        self.trace_cache[tspec.key] = trace
+                    idx, result = i, execute_config(
+                        trace,
+                        point.protocol,
+                        config,
+                        memory_kb=point.memory_kb,
+                        rate=point.rate,
+                        seed=point.seed,
+                        protocol_kwargs=point.protocol_kwargs,
+                        scenario=point.scenario,
+                    )
+                rd.write_result(
+                    idx,
+                    {
+                        "index": idx,
+                        "result": result,
+                        "info": {"execution": {"mode": "pool"}},
+                    },
+                )
+                results[idx] = result
+                on_result(idx, result)
+            job.futures = []
+        if any(r is None for r in results):
+            raise SweepInterrupted(results)
+        return ScenarioResult(
+            spec=job.spec,
+            points=[point for _, point, _ in entries],
+            results=list(results),  # type: ignore[arg-type]
+        )
+
+    # -- transitions -----------------------------------------------------------------
+    def _finish(self, job: Job, state: str, *, event: str) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        self._persist(job)
+        job.stream.publish(event, job.as_dict())
+        job.stream.close()
+
+    def _fail(self, job: Job, error: str) -> None:
+        if job.state in TERMINAL_STATES:
+            return
+        job.error = error
+        self._finish(job, "failed", event="job.failed")
+
+    def _interrupted(
+        self, job: Job, results: List[Optional[ExperimentResult]]
+    ) -> None:
+        """A job stopped early: user cancel, or a (graceful) shutdown.
+
+        Either way the run directory keeps every committed point.  The
+        partial is recorded (content-hash dedup makes the eventual full
+        recording skip these points), then: cancel -> terminal
+        ``cancelled``; shutdown -> durable ``queued`` so the next start
+        resumes it.
+        """
+        stats = self._record_partial(job, results)
+        if stats is not None:
+            job.recorded = str(stats)
+        if self._abandoned:
+            return  # emulated hard kill: no further persistence
+        if job.cancel_requested:
+            self._finish(job, "cancelled", event="job.cancelled")
+            return
+        job.state = "queued"
+        self._persist(job)
+        job.stream.publish(
+            "job.interrupted",
+            {"id": job.id, "done": job.done_points, "total": job.n_points},
+        )
+        job.stream.close()
+
+    # -- store recording -------------------------------------------------------------
+    def _record(self, job: Job, res: ScenarioResult):
+        if self.db_path is None:
+            return None
+        with self._db_lock:
+            with ExperimentDB(self.db_path) as db:
+                return ingest_scenario_result(db, res)
+
+    def _record_partial(self, job: Job, results: List[Optional[ExperimentResult]]):
+        if self.db_path is None:
+            return None
+        done = [r for r in results if r is not None]
+        if not done:
+            return None
+        label = job.spec.name or "scenario"
+        with self._db_lock:
+            with ExperimentDB(self.db_path) as db:
+                return ingest_experiment_results(
+                    db, done, kind="scenario", label=f"{label}:partial"
+                )

@@ -1,0 +1,109 @@
+"""Server-sent-event plumbing: per-job event buffers and wire framing.
+
+Each :class:`~repro.serve.jobs.Job` owns one :class:`EventStream` — an
+append-only, bounded buffer of ``(id, event, data)`` records guarded by a
+condition variable.  Publishers (the dispatcher thread, the pool drain
+thread) never block; any number of subscribers (HTTP handler threads, one
+per connected SSE client) replay from an arbitrary ``after`` id and then
+wait for new events, so two clients watching different jobs see disjoint
+streams and a late subscriber still gets the full history.
+
+Framing follows the SSE wire format (``id:`` / ``event:`` / ``data:``
+lines, blank-line terminated); data payloads are always a single JSON
+object.  Comment frames (``: heartbeat``) keep idle connections alive and
+double as disconnect probes — a write to a gone client raises and the
+handler unsubscribes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["EventStream", "HEARTBEAT_FRAME", "sse_frame"]
+
+#: SSE comment frame: ignored by clients, fatal to write to a dead socket
+HEARTBEAT_FRAME = b": heartbeat\n\n"
+
+
+def sse_frame(event: str, data: Dict[str, Any], *, id: Optional[int] = None) -> bytes:
+    """One wire-format SSE frame carrying a JSON object."""
+    lines: List[str] = []
+    if id is not None:
+        lines.append(f"id: {id}")
+    lines.append(f"event: {event}")
+    lines.append(f"data: {json.dumps(data, sort_keys=True)}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+class EventStream:
+    """A bounded, subscribable event history for one job.
+
+    Events get monotonically increasing ids starting at 1.  ``capacity``
+    bounds memory: the oldest records are evicted once exceeded (a
+    subscriber that asks for evicted history resumes from the oldest
+    retained record).  :meth:`close` marks the stream terminal — published
+    after the job's final state event, it lets every subscriber drain and
+    return instead of waiting forever.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._cond = threading.Condition()
+        self._events: List[Tuple[int, str, Dict[str, Any]]] = []
+        self._next_id = 1
+        self.n_evicted = 0
+        self.closed = False
+
+    def publish(self, event: str, data: Dict[str, Any]) -> int:
+        """Append one event and wake all subscribers; returns its id."""
+        with self._cond:
+            eid = self._next_id
+            self._next_id += 1
+            self._events.append((eid, event, dict(data)))
+            overflow = len(self._events) - self.capacity
+            if overflow > 0:
+                del self._events[:overflow]
+                self.n_evicted += overflow
+            self._cond.notify_all()
+            return eid
+
+    def close(self) -> None:
+        """Mark the stream terminal (idempotent); wakes all subscribers."""
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    def events_since(self, after: int = 0) -> List[Tuple[int, str, Dict[str, Any]]]:
+        """All retained events with id > ``after`` (no blocking)."""
+        with self._cond:
+            return [e for e in self._events if e[0] > after]
+
+    def subscribe(
+        self, after: int = 0, *, heartbeat: float = 10.0
+    ) -> Iterator[bytes]:
+        """Yield SSE frames from id ``after`` onward until the stream closes.
+
+        Blocks waiting for new events; every ``heartbeat`` seconds of
+        silence yields a comment frame so the caller's socket write probes
+        the connection.  Returns (ends the stream) once the stream is
+        closed and fully drained.
+        """
+        cursor = after
+        while True:
+            with self._cond:
+                batch = [e for e in self._events if e[0] > cursor]
+                if not batch and not self.closed:
+                    self._cond.wait(timeout=heartbeat)
+                    batch = [e for e in self._events if e[0] > cursor]
+                closed = self.closed
+            for eid, event, data in batch:
+                cursor = eid
+                yield sse_frame(event, data, id=eid)
+            if not batch:
+                if closed:
+                    return
+                yield HEARTBEAT_FRAME

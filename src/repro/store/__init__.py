@@ -36,6 +36,7 @@ from repro.store.query import (
     PointFilter,
     latest_per_point,
     query_points,
+    scenario_for_hash,
     trend_series,
 )
 from repro.store.regress import (
@@ -76,6 +77,7 @@ __all__ = [
     "latest_per_point",
     "pin_baseline",
     "query_points",
+    "scenario_for_hash",
     "regress",
     "render_markdown",
     "snapshot_rows",

@@ -14,12 +14,19 @@ Three access patterns the rest of the harness needs:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.store.db import ExperimentDB, PointRow
 
-__all__ = ["PointFilter", "latest_per_point", "query_points", "trend_series"]
+__all__ = [
+    "PointFilter",
+    "latest_per_point",
+    "query_points",
+    "scenario_for_hash",
+    "trend_series",
+]
 
 
 @dataclass(frozen=True)
@@ -108,6 +115,29 @@ def latest_per_point(
             order.append(row.scenario_hash)
         latest[row.scenario_hash] = row
     return [latest[h] for h in order]
+
+
+def scenario_for_hash(db: ExperimentDB, prefix: str) -> Optional[Dict[str, Any]]:
+    """The stored resolved-scenario dict behind a hash (or hex prefix).
+
+    The newest point carrying the scenario wins; ``None`` when no stored
+    point matches (or the matching rows predate scenario stamping).  This
+    is how ``repro serve``'s replay endpoint turns a recorded point back
+    into a live engine run.
+    """
+    cur = db._conn.execute(
+        "SELECT scenario FROM points WHERE scenario_hash LIKE ? "
+        "AND scenario IS NOT NULL ORDER BY id DESC LIMIT 1",
+        (prefix + "%",),
+    )
+    row = cur.fetchone()
+    if row is None or not row[0]:
+        return None
+    try:
+        payload = json.loads(row[0])
+    except (TypeError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
 
 
 def trend_series(
